@@ -1,0 +1,91 @@
+"""Ablation: file-system request aggregation vs. naive small writes.
+
+Section 7: "Request aggregation ... would simplify code structure and
+eliminate the need for code restructuring."  We issue the same stream
+of small sequential writes with and without the
+:class:`~repro.policies.aggregation.WriteAggregator` and compare the
+I/O time.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.machine import MachineConfig, ParagonXPS
+from repro.pablo import IOOp, Tracer
+from repro.pfs import PFS
+from repro.policies import WriteAggregator
+from repro.sim import Engine
+from repro.units import KB
+
+N_WRITES = 400
+WRITE_SIZE = 2 * KB
+
+
+def _machine():
+    eng = Engine()
+    config = MachineConfig(
+        mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+    )
+    machine = ParagonXPS(eng, config)
+    tracer = Tracer()
+    return eng, PFS(eng, machine, tracer=tracer), tracer
+
+
+def _run(aggregated: bool) -> float:
+    eng, pfs, tracer = _machine()
+
+    def writer():
+        cli = pfs.client(0)
+        handle = yield from cli.open("/pfs/out")
+        if aggregated:
+            agg = WriteAggregator(cli, handle)
+            for _ in range(N_WRITES):
+                yield from agg.write(WRITE_SIZE)
+            yield from agg.flush()
+        else:
+            for _ in range(N_WRITES):
+                yield from cli.write(handle, WRITE_SIZE)
+        yield from cli.close(handle)
+
+    eng.process(writer())
+    eng.run()
+    trace = tracer.finish()
+    return sum(e.duration for e in trace.by_op(IOOp.WRITE).events)
+
+
+def test_ablation_write_aggregation(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {"naive": _run(False), "aggregated": _run(True)},
+    )
+    naive, aggregated = results["naive"], results["aggregated"]
+    print(
+        f"\nAblation: {N_WRITES} x {WRITE_SIZE}B sequential writes\n"
+        f"  naive small writes:  {naive:8.3f}s of write time\n"
+        f"  aggregated (stripe): {aggregated:8.3f}s of write time\n"
+        f"  speedup: {naive / aggregated:.1f}x"
+    )
+    # Aggregation must win decisively for small sequential writes.
+    assert aggregated < naive / 1.5
+
+
+def test_aggregator_counts():
+    eng, pfs, tracer = _machine()
+    stats = {}
+
+    def writer():
+        cli = pfs.client(0)
+        handle = yield from cli.open("/pfs/out")
+        agg = WriteAggregator(cli, handle)
+        for _ in range(64):
+            yield from agg.write(2 * KB)
+        yield from agg.flush()
+        stats["ratio"] = agg.aggregation_ratio
+        stats["physical"] = agg.physical_writes
+        yield from cli.close(handle)
+
+    eng.process(writer())
+    eng.run()
+    # 64 x 2KB = 128KB = two 64KB physical writes.
+    assert stats["physical"] == 2
+    assert stats["ratio"] == pytest.approx(32.0)

@@ -1,0 +1,39 @@
+"""Ablation: I/O-node count sweep (the paper's stated future work).
+
+"Additionally, we plan to examine the effects of different machine
+configurations (e.g., number of I/O nodes) ... on I/O performance."
+We run the staging-write benchmark against 1, 2, 4, and 8 I/O nodes.
+"""
+
+from conftest import run_once
+
+from repro.machine import MachineConfig
+from repro.workloads import benchmark_by_name, run_workload
+
+IO_NODES = [1, 2, 4, 8]
+
+
+def _run_sweep():
+    out = {}
+    for n_io in IO_NODES:
+        config = MachineConfig(
+            mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=n_io,
+        )
+        workload = benchmark_by_name("staging-small-async-write", n_nodes=8)
+        result = run_workload(workload, machine_config=config)
+        out[n_io] = result.wall_time
+    return out
+
+
+def test_ablation_io_node_sweep(benchmark):
+    sweep = run_once(benchmark, _run_sweep)
+    print("\nAblation: M_ASYNC staging writes vs I/O-node count")
+    for n_io, wall in sweep.items():
+        print(f"  {n_io} I/O node(s): wall {wall:8.3f}s")
+
+    # More I/O nodes -> more parallel stripe servers -> faster drains
+    # and less queueing; the trend must be monotone non-increasing.
+    walls = [sweep[n] for n in IO_NODES]
+    assert all(b <= a * 1.05 for a, b in zip(walls, walls[1:]))
+    # And the 1 -> 8 improvement must be substantial.
+    assert sweep[8] < sweep[1] * 0.8

@@ -1,0 +1,26 @@
+"""Figure 1: ESCAT execution time across six code progressions."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure1
+
+
+def test_fig1_escat_execution_times(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure1(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    walls = fig.series["wall_times"]
+    order = list(walls)
+    # Six instrumented executions, version A first, version C last.
+    assert order[0] == "A" and order[-1] == "C"
+    assert len(order) == 6
+    if paper_scale:
+        # Monotone-ish improvement: every progression at or below A,
+        # and C is the fastest.
+        assert all(walls[name] <= walls["A"] * 1.02 for name in order)
+        assert walls["C"] == min(walls.values())
+        # Total reduction ~20% (paper); accept 10-35%.
+        reduction = (walls["A"] - walls["C"]) / walls["A"]
+        assert 0.10 < reduction < 0.35
+    else:
+        assert walls["C"] < walls["A"]

@@ -1,0 +1,42 @@
+"""Figure 2: ESCAT CDFs of read/write request sizes and data moved."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure2
+from repro.units import KB
+
+
+def test_fig2_escat_request_size_cdfs(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure2(fast=not paper_scale))
+    print("\n" + fig.summary)
+    cdfs = fig.series["cdfs"]
+
+    a_read = cdfs["A"]["read"]
+    b_read = cdfs["B"]["read"]
+    c_read = cdfs["C"]["read"]
+
+    small = 2 * KB - 1
+    if paper_scale:
+        # A: ~97% of reads are small, moving ~40% of the data.
+        assert a_read.fraction_of_requests_at_or_below(small) > 0.90
+        assert 0.25 < a_read.fraction_of_data_at_or_below(small) < 0.55
+        # B/C: about half the reads are small...
+        for cdf in (b_read, c_read):
+            assert 0.35 < cdf.fraction_of_requests_at_or_below(small) < 0.65
+            # ...and the 128KB reads carry ~98% of the data.
+            assert 1 - cdf.fraction_of_data_at_or_below(128 * KB - 1) > 0.90
+    else:
+        assert a_read.fraction_of_requests_at_or_below(small) > \
+            b_read.fraction_of_requests_at_or_below(small)
+
+    # B and C read CDFs are essentially identical (the paper plots
+    # them as one curve).
+    assert abs(
+        b_read.fraction_of_requests_at_or_below(small)
+        - c_read.fraction_of_requests_at_or_below(small)
+    ) < 0.06
+
+    # Writes are small in every version (paper: all < ~3KB).
+    for v in ("A", "B", "C"):
+        write = cdfs[v]["write"]
+        assert write.fraction_of_requests_at_or_below(3 * KB) > 0.95

@@ -1,0 +1,34 @@
+"""Figure 3: ESCAT read sizes over execution time (versions A, C)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure3
+from repro.experiments.runner import escat_result
+from repro.units import KB
+
+
+def test_fig3_escat_read_timelines(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure3(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    for v in ("A", "C"):
+        result = escat_result(v, fast=not paper_scale)
+        ts = fig.series[v]
+        wall = result.wall_time
+        early = ts.within(0, wall * 0.33)
+        middle = ts.within(wall * 0.33, wall * 0.67)
+        late = ts.within(wall * 0.67, wall)
+        # Reads cluster at the beginning and end of the run; the long
+        # staging-write middle has essentially none.
+        assert len(middle) < 0.02 * len(ts)
+        assert len(early) + len(late) > 0.98 * len(ts)
+
+    # The final-phase reload: A uses small chunks, C uses 128 KB.
+    a_late = fig.series["A"].within(
+        escat_result("A", fast=not paper_scale).wall_time * 0.67, float("inf")
+    )
+    c_late = fig.series["C"].within(
+        escat_result("C", fast=not paper_scale).wall_time * 0.67, float("inf")
+    )
+    assert a_late.values.max() < 2 * KB + 1
+    assert c_late.values.max() == 128 * KB

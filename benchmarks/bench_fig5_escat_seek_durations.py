@@ -1,0 +1,32 @@
+"""Figure 5: ESCAT seek durations (versions B, C).
+
+The paper's headline contrast: B's shared-file M_UNIX seeks queue for
+up to seconds; C's M_ASYNC seeks are local pointer updates — note the
+order-of-magnitude difference in the two plots' y-axes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5
+
+
+def test_fig5_seek_durations(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure5(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    b = fig.series["B"]
+    c = fig.series["C"]
+    assert len(b) > 0 and len(c) > 0
+
+    # B: seeks reach second-scale durations (paper: up to ~8s).
+    if paper_scale:
+        assert b.values.max() > 0.5
+    # C: every seek is a sub-millisecond local operation.
+    assert c.values.max() < 1e-3
+
+    # Order-of-magnitude (well beyond) separation in both max and mean.
+    assert b.values.max() > 100 * c.values.max()
+    assert b.values.mean() > 100 * c.values.mean()
+
+    # Aggregate seek time is what M_ASYNC eliminated.
+    assert b.values.sum() > 1000 * c.values.sum()

@@ -1,0 +1,19 @@
+"""Figure 6: PRISM execution time across the three versions."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_prism_execution_times(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure6(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    walls = fig.series["wall_times"]
+    assert walls["C"] == min(walls.values())
+    if paper_scale:
+        # Execution time decreases across versions; C is fastest.
+        assert walls["A"] > walls["B"] > walls["C"]
+        # Paper: ~23% total reduction.
+        reduction = (walls["A"] - walls["C"]) / walls["A"]
+        assert 0.15 < reduction < 0.35

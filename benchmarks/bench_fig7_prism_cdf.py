@@ -1,0 +1,38 @@
+"""Figure 7: PRISM CDFs of read/write request sizes and data moved."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_prism_request_size_cdfs(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure7(fast=not paper_scale))
+    print("\n" + fig.summary)
+    cdfs = fig.series["cdfs"]
+
+    for v in ("A", "B"):
+        read = cdfs[v]["read"]
+        # "A large number of small (less than 40 bytes) read ...
+        # requests": tiny requests are the majority by count.
+        assert read.fraction_of_requests_at_or_below(160) > 0.5
+        # "...although a few large requests (greater 150KB) constitute
+        # the majority of I/O data volume."
+        assert 1 - read.fraction_of_data_at_or_below(150 * 1024) > 0.5
+
+    # C reduces the number of small reads by reading the connectivity
+    # file as binary data.
+    a_small = cdfs["A"]["read"].fraction_of_requests_at_or_below(160)
+    c_small = cdfs["C"]["read"].fraction_of_requests_at_or_below(160)
+    assert c_small < a_small
+
+    # Writes: many small measurement/history records; the large
+    # checkpoint/field records carry the bytes.  "No significant
+    # variation in the access sizes across the three versions."
+    for v in ("A", "B", "C"):
+        write = cdfs[v]["write"]
+        assert write.fraction_of_requests_at_or_below(1024) > 0.5
+        assert 1 - write.fraction_of_data_at_or_below(150 * 1024) > 0.5
+    assert abs(
+        cdfs["A"]["write"].fraction_of_requests_at_or_below(1024)
+        - cdfs["C"]["write"].fraction_of_requests_at_or_below(1024)
+    ) < 0.1

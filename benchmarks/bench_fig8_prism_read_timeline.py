@@ -1,0 +1,28 @@
+"""Figure 8: PRISM phase-one read timelines across versions.
+
+Paper shape: the read span shrinks A -> B (collective modes replace
+serialized M_UNIX) and grows again B -> C (buffering disabled on the
+restart file stretches the header reads).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure8
+
+
+def test_fig8_prism_read_spans(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure8(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    spans = {v: fig.series[v].span for v in ("A", "B", "C")}
+    if paper_scale:
+        # A's serialized reads span the longest; B is the most
+        # compact; C sits between (paper: ~250s / ~140s / ~180s).
+        assert fig.series["span_order"] == ["B", "C", "A"]
+        assert spans["A"] > spans["C"] > spans["B"]
+
+    # Version C's reads include the pathological tiny unbuffered
+    # header reads (the slowest individual small reads of any version).
+    c_reads = fig.series["C"]
+    tiny = c_reads.values <= 40
+    assert tiny.any()

@@ -1,0 +1,32 @@
+"""Figure 9: PRISM write timeline (version C): five checkpoint bursts."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9
+from repro.experiments.runner import prism_result
+from repro.pablo import IOOp
+
+
+def test_fig9_prism_checkpoint_bursts(benchmark, paper_scale):
+    fig = run_once(benchmark, lambda: figure9(fast=not paper_scale))
+    print("\n" + fig.summary)
+
+    bursts = fig.series["bursts"]
+    expected = 5 if paper_scale else 4  # mini problem: 20 steps / 5
+    assert len(bursts) == expected
+
+    # Bursts are evenly spaced (every 250 steps of equal compute).
+    starts = [a for a, _ in bursts]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    assert max(gaps) < 1.3 * min(gaps)
+
+    # Between checkpoints, node zero keeps writing small measurement
+    # and history records continuously.
+    result = prism_result("C", fast=not paper_scale)
+    small_writes = result.trace.select(
+        lambda e: e.op == IOOp.WRITE and e.nbytes <= 1024
+        and e.phase == "phase-2-integration"
+    )
+    assert len(small_writes) > 100 if paper_scale else len(small_writes) > 10
+    # Checkpoint records are large (paper's y-axis reaches 1e5+).
+    assert fig.series["checkpoint_writes"].values.max() > 1e5

@@ -1,0 +1,59 @@
+"""IOR-style characterization of the simulated PFS.
+
+The modern way to characterize a parallel file system, run against
+the 1996 machine model: bandwidth vs. transfer size per access mode.
+The sweep reproduces the paper's core performance asymmetry — small
+shared-file M_UNIX requests are catastrophically slower than large or
+asynchronous ones.
+"""
+
+from conftest import run_once
+
+from repro.machine import MachineConfig
+from repro.pfs import AccessMode
+from repro.units import KB, MB
+from repro.workloads import IORConfig, run_ior
+
+MACHINE = MachineConfig(
+    mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+)
+TRANSFERS = (8 * KB, 64 * KB, 256 * KB)
+
+
+def _sweep():
+    out = {}
+    for mode in (AccessMode.M_UNIX, AccessMode.M_ASYNC):
+        for transfer in TRANSFERS:
+            result = run_ior(
+                IORConfig(
+                    n_nodes=8, block_size=1 * MB, transfer_size=transfer,
+                    mode=mode,
+                ),
+                machine_config=MACHINE,
+            )
+            out[(str(mode), transfer)] = result
+    return out
+
+
+def test_ior_mode_sweep(benchmark):
+    results = run_once(benchmark, _sweep)
+    print("\nIOR-style sweep: 8 ranks, 1MB blocks, shared file")
+    print(f"{'mode':10s}{'transfer':>10s}{'write MB/s':>12s}{'read MB/s':>12s}")
+    for (mode, transfer), r in results.items():
+        print(f"{mode:10s}{transfer // KB:>9d}K"
+              f"{r.write_bandwidth / MB:>12.2f}"
+              f"{r.read_bandwidth / MB:>12.2f}")
+
+    # Bigger transfers must not hurt; tiny M_UNIX shared writes are
+    # the pathological corner (token + parity RMW).
+    unix_small = results[("M_UNIX", 8 * KB)].write_bandwidth
+    unix_large = results[("M_UNIX", 256 * KB)].write_bandwidth
+    assert unix_large > 4 * unix_small
+
+    # M_ASYNC reads beat M_UNIX reads at every transfer size (no
+    # token, cache-friendly).
+    for transfer in TRANSFERS:
+        assert (
+            results[("M_ASYNC", transfer)].read_bandwidth
+            >= results[("M_UNIX", transfer)].read_bandwidth
+        )

@@ -1,0 +1,39 @@
+"""Trace-driven replay: re-evaluating a captured trace against new
+machine configurations (the methodology the SIO/PPFS line of work used
+to evaluate file-system designs against real application traces)."""
+
+from conftest import run_once
+
+from repro.apps import run_escat, scaled_escat_problem
+from repro.machine import MachineConfig
+from repro.replay import replay_trace
+
+
+def _config(n_io: int) -> MachineConfig:
+    return MachineConfig(
+        mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=n_io
+    )
+
+
+def test_replay_io_node_sweep(benchmark):
+    def sweep():
+        original = run_escat(
+            "C", scaled_escat_problem(n_nodes=8, records_per_channel=16)
+        )
+        out = {"original": original.trace.total_io_time}
+        for n_io in (1, 4, 8):
+            result = replay_trace(
+                original.trace, machine_config=_config(n_io),
+                think_time_scale=0.0,
+            )
+            out[n_io] = result.replayed_io_time
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\nTrace replay: ESCAT-C trace vs I/O-node count")
+    print(f"  original capture: {results['original']:8.2f} node-s of I/O")
+    for n_io in (1, 4, 8):
+        print(f"  replayed on {n_io} I/O node(s): {results[n_io]:8.2f}")
+
+    assert results[8] < results[1]
+    assert results[4] < results[1]

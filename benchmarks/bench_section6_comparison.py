@@ -1,0 +1,32 @@
+"""Section 6: the paper's cross-application comparison, regenerated."""
+
+from conftest import run_once
+
+from repro.core import section6_report
+from repro.experiments.runner import escat_result, prism_result
+
+
+def test_section6_comparison(benchmark, paper_scale):
+    def build():
+        return section6_report(
+            escat_result("A", fast=not paper_scale).trace,
+            escat_result("C", fast=not paper_scale).trace,
+            prism_result("A", fast=not paper_scale).trace,
+            prism_result("C", fast=not paper_scale).trace,
+        )
+
+    report = run_once(benchmark, build)
+    print("\n" + report.render())
+
+    # 6.1: natural patterns — small reads, UNIX calls only, serialized.
+    for profile in report.initial.values():
+        assert profile.small_read_fraction > 0.9
+        assert profile.modes_used == ["M_UNIX"]
+
+    # 6.2: optimization moved the data into large requests and new
+    # modes, and broke the node-zero funnel in ESCAT.
+    assert report.optimized["ESCAT"].large_read_data_fraction > 0.9
+    assert "M_ASYNC" in report.optimized["ESCAT"].modes_used
+    assert "M_GLOBAL" in report.optimized["PRISM"].modes_used
+    assert report.initial["ESCAT"].node_zero_coordinated
+    assert not report.optimized["ESCAT"].node_zero_coordinated

@@ -1,0 +1,38 @@
+"""The derived benchmark suite (paper section 7's promised artifact).
+
+Runs every entry of :data:`repro.workloads.BENCHMARK_SUITE` and checks
+the cross-benchmark orderings the paper's findings predict.
+"""
+
+from conftest import run_once
+
+from repro.workloads import BENCHMARK_SUITE, run_workload
+
+
+def test_suite_orderings(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            name: run_workload(wl) for name, wl in BENCHMARK_SUITE.items()
+        },
+    )
+    print(f"\n{'benchmark':34s} {'wall(s)':>9s} {'I/O(node-s)':>12s}")
+    for name, r in results.items():
+        print(f"{name:34s} {r.wall_time:9.2f} {r.io_node_seconds:12.2f}")
+
+    io = {name: r.io_node_seconds for name, r in results.items()}
+
+    # M_GLOBAL's aggregated read beats N serialized M_UNIX readers.
+    assert io["compulsory-global-read"] < io["compulsory-shared-read"] / 2
+
+    # M_ASYNC staging beats M_UNIX staging (the ESCAT B -> C step).
+    assert io["staging-small-async-write"] < \
+        io["staging-small-strided-write"] / 1.5
+
+    # Unbuffered tiny reads are pathological relative to the same
+    # volume read as large records.
+    assert io["unbuffered-small-read"] > io["reload-record-read"]
+
+    # Stripe-multiple record reads are efficient: better aggregate
+    # cost than the random small reads.
+    assert io["reload-record-read"] < io["random-small-read"] * 5

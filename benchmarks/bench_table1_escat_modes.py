@@ -1,0 +1,29 @@
+"""Table 1: ESCAT node activity and file access modes per phase."""
+
+from conftest import run_once
+
+from repro.experiments.escat_tables import table1
+
+
+def test_table1_escat_modes(benchmark, paper_scale):
+    rows, text = run_once(benchmark, lambda: table1(fast=not paper_scale))
+    print("\n" + text)
+
+    by_phase = {row[0]: row[1:] for row in rows}
+    # Phase one: A all nodes, B/C node zero (Table 1).
+    assert by_phase["Phase One"][0].startswith("All Nodes")
+    assert by_phase["Phase One"][1].startswith("Node zero")
+    assert by_phase["Phase One"][2].startswith("Node zero")
+    assert all("M_UNIX" in cell for cell in by_phase["Phase One"])
+    # Phase two: A node zero M_UNIX; B all nodes M_UNIX; C all M_ASYNC.
+    assert by_phase["Phase Two"][0] == "Node zero / M_UNIX"
+    assert by_phase["Phase Two"][1] == "All Nodes / M_UNIX"
+    assert by_phase["Phase Two"][2] == "All Nodes / M_ASYNC"
+    # Phase three: A node zero M_UNIX; B/C all nodes M_RECORD.
+    assert by_phase["Phase Three"][0] == "Node zero / M_UNIX"
+    assert by_phase["Phase Three"][1] == "All Nodes / M_RECORD"
+    assert by_phase["Phase Three"][2] == "All Nodes / M_RECORD"
+    # Phase four: node zero M_UNIX everywhere.
+    assert all(
+        cell == "Node zero / M_UNIX" for cell in by_phase["Phase Four"]
+    )

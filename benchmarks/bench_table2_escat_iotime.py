@@ -1,0 +1,46 @@
+"""Table 2: ESCAT aggregate I/O time breakdown by operation type.
+
+Paper shapes asserted: version A dominated by open+read (~96%
+combined); version B by seek (largest row, with write second); version
+C by write, with gopen and iomode as the visible secondary costs and
+seeks nearly eliminated.
+"""
+
+from conftest import run_once
+
+from repro.experiments.escat_tables import table2
+from repro.pablo import IOOp
+
+
+def test_table2_escat_io_breakdown(benchmark, paper_scale):
+    breakdowns, text = run_once(benchmark, lambda: table2(fast=not paper_scale))
+    print("\n" + text)
+
+    a, b, c = breakdowns["A"], breakdowns["B"], breakdowns["C"]
+
+    # Version A: open and read dominate (paper: 53.7 + 42.6 = 96.3).
+    assert a.dominant_op() == IOOp.OPEN
+    assert a.percent(IOOp.OPEN) + a.percent(IOOp.READ) > 80
+    assert a.percent(IOOp.SEEK) < 5
+    if paper_scale:
+        assert a.percent(IOOp.WRITE) < 10
+
+    # Version B: seek is a dominant cost (paper: 63.2, write 28.8).
+    assert b.percent(IOOp.SEEK) > 25
+    assert b.percent(IOOp.WRITE) > 10
+    assert b.percent(IOOp.READ) < 5      # M_RECORD reload is cheap
+    assert b.percent(IOOp.OPEN) < 1      # gopen replaced open
+    if paper_scale:
+        assert b.dominant_op() == IOOp.SEEK
+        assert b.percent(IOOp.SEEK) > 40
+        assert b.percent(IOOp.SEEK) > b.percent(IOOp.WRITE)
+
+    # Version C: write dominates; M_ASYNC eliminated the seeks; the
+    # collective gopen/iomode overheads are now visible shares.
+    assert c.dominant_op() == IOOp.WRITE
+    assert c.percent(IOOp.SEEK) < 2
+    assert c.percent(IOOp.GOPEN) > 10
+    assert c.percent(IOOp.IOMODE) > 5
+
+    # Absolute I/O time collapses B -> C (paper: ~6x).
+    assert b.total_io_time > 3 * c.total_io_time

@@ -1,0 +1,42 @@
+"""Table 3: ESCAT I/O as a percentage of total execution time.
+
+Paper shapes asserted: the ethylene problem is compute-bound (a few
+percent of I/O) with B > A > C ordering; the optimized version C
+drops below 1%; the carbon monoxide problem at 256 nodes spends on
+the order of 20% of execution on I/O, dominated by reads and gopens.
+"""
+
+from conftest import run_once
+
+from repro.experiments.escat_tables import table3
+
+
+def test_table3_exec_fraction(benchmark, paper_scale):
+    rows, text = run_once(benchmark, lambda: table3(fast=not paper_scale))
+    print("\n" + text)
+
+    eth_a = rows["ethylene/A"]["All I/O"]
+    eth_b = rows["ethylene/B"]["All I/O"]
+    eth_c = rows["ethylene/C"]["All I/O"]
+    co_c = rows["carbon-monoxide/C"]["All I/O"]
+
+    if paper_scale:
+        # B's seek explosion makes its I/O share the largest.
+        assert eth_b > eth_c
+        # Ethylene is compute bound (paper: 2.97 / 4.60 / 0.73).
+        assert eth_a < 10 and eth_b < 10
+        assert eth_b > eth_a > eth_c
+    if paper_scale:
+        assert eth_c < 1.5
+        assert 1.0 < eth_a < 6.0
+        # Carbon monoxide: an order of magnitude more I/O-bound
+        # (paper: 19.4%).
+        assert 10.0 < co_c < 30.0
+        assert co_c > 3 * eth_c
+
+    # CO's I/O is dominated by quadrature rereads and reopen cost.
+    co = rows["carbon-monoxide/C"]
+    if paper_scale:
+        assert co["read"] + co["gopen"] > 0.6 * co["All I/O"]
+    # The later CO build sets modes via gopen: no iomode time at all.
+    assert co.get("iomode", 0.0) == 0.0

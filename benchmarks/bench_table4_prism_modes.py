@@ -1,0 +1,34 @@
+"""Table 4: PRISM node activity and file access modes per phase."""
+
+from conftest import run_once
+
+from repro.experiments.prism_tables import table4
+
+
+def test_table4_prism_modes(benchmark, paper_scale):
+    rows, text = run_once(benchmark, lambda: table4(fast=not paper_scale))
+    print("\n" + text)
+
+    by_phase = {row[0]: row[1:] for row in rows}
+
+    # Phase one, parameter file: M_UNIX -> M_GLOBAL -> M_GLOBAL.
+    assert "M_UNIX" in by_phase["Phase One (P)"][0]
+    assert "M_GLOBAL" in by_phase["Phase One (P)"][1]
+    assert "M_GLOBAL" in by_phase["Phase One (P)"][2]
+
+    # Restart file: B splits header (M_GLOBAL) and body (M_RECORD);
+    # C reads it via M_ASYNC.
+    assert "M_UNIX" in by_phase["Phase One (R)"][0]
+    assert "M_GLOBAL" in by_phase["Phase One (R)"][1]
+    assert "M_RECORD" in by_phase["Phase One (R)"][1]
+    assert "M_ASYNC" in by_phase["Phase One (R)"][2]
+
+    # Phase two is node-zero M_UNIX in every version.
+    assert all(
+        cell == "Node zero / M_UNIX" for cell in by_phase["Phase Two"]
+    )
+
+    # Phase three: node zero in A; all nodes M_ASYNC in B and C.
+    assert by_phase["Phase Three"][0].startswith("Node zero")
+    assert by_phase["Phase Three"][1] == "All / M_ASYNC"
+    assert by_phase["Phase Three"][2] == "All / M_ASYNC"

@@ -1,0 +1,45 @@
+"""Table 5: PRISM aggregate I/O time breakdown by operation type.
+
+Paper shapes asserted: A is open-dominated (75.4%) with read second;
+B still open-heavy with a visible iomode share; C kills the open cost
+via gopen but the unbuffered restart header reads make read dominate
+(83.9%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.prism_tables import table5
+from repro.pablo import IOOp
+
+
+def test_table5_prism_io_breakdown(benchmark, paper_scale):
+    breakdowns, text = run_once(benchmark, lambda: table5(fast=not paper_scale))
+    print("\n" + text)
+
+    a, b, c = breakdowns["A"], breakdowns["B"], breakdowns["C"]
+
+    # Version A: open dominates, read is the clear second.
+    assert a.dominant_op() == IOOp.OPEN
+    assert a.percent(IOOp.OPEN) > 45
+    assert a.percent(IOOp.OPEN) > a.percent(IOOp.READ)
+    if paper_scale:
+        assert a.percent(IOOp.READ) > 5
+
+    # Version B: opens still expensive; iomode appears as a major
+    # new cost (paper: 17.75%).
+    assert b.dominant_op() == IOOp.OPEN
+    assert b.percent(IOOp.IOMODE) > 5
+    assert b.percent(IOOp.GOPEN) == 0.0
+
+    # Version C: gopen removes the open cost; disabling buffering
+    # makes read dominate (paper: open 3.4, gopen 3.4, read 83.9).
+    if paper_scale:
+        assert c.dominant_op() == IOOp.READ
+        assert c.percent(IOOp.READ) > 50
+        assert c.percent(IOOp.OPEN) < 10
+    assert c.percent(IOOp.IOMODE) == 0.0  # gopen sets the mode
+
+    # The open storm's absolute cost collapses A -> C.
+    open_a = a.totals.get(IOOp.OPEN, 0.0)
+    open_c = c.totals.get(IOOp.OPEN, 0.0) + c.totals.get(IOOp.GOPEN, 0.0)
+    assert open_a > 5 * open_c

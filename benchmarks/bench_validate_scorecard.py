@@ -1,0 +1,17 @@
+"""The headline benchmark: the full reproduction scorecard.
+
+At paper scale every one of the paper's claim shapes must reproduce.
+"""
+
+from conftest import run_once
+
+from repro.experiments.validate import validate_all
+
+
+def test_reproduction_scorecard(benchmark, paper_scale):
+    card = run_once(benchmark, lambda: validate_all(fast=not paper_scale))
+    print("\n" + card.render())
+    if paper_scale:
+        assert card.all_passed, "a paper claim failed to reproduce"
+    else:
+        assert card.passed >= card.total * 0.6

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+The application simulations are memoized in
+:mod:`repro.experiments.runner`, so the first benchmark touching a
+given (application, version) pays for the run and later ones reuse it.
+Benchmarks use ``benchmark.pedantic(..., rounds=1)`` — the quantity of
+interest is the regenerated table/figure, not microsecond timing
+stability, and a full Paragon simulation is too costly to repeat.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    """Whether to run paper-scale problems (default) or fast minis.
+
+    Set REPRO_BENCH_FAST=1 to run the whole benchmark suite on
+    miniature problems (useful on slow machines; shapes are rougher).
+    """
+    import os
+
+    return not bool(os.environ.get("REPRO_BENCH_FAST"))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Modern-style I/O characterization of a 1996 workload.
+
+Today's standard HPC I/O characterization tool (Darshan) reduces each
+job to compact per-file counter records.  This example runs the ESCAT
+version-B workload — the one with the infamous per-write seeks — and
+produces exactly that kind of report from its Pablo trace, showing how
+the paper's conclusions pop out of counters alone: the tiny common
+access sizes, the seek counts, the shared-file concurrency.
+
+Run:  python examples/darshan_counters.py
+"""
+
+from repro import run_escat, scaled_escat_problem
+from repro.pablo import derive_counters, render_counters
+
+
+def main() -> None:
+    problem = scaled_escat_problem(n_nodes=8, records_per_channel=16)
+    print("running ESCAT version B ...\n")
+    result = run_escat("B", problem)
+
+    counters = derive_counters(result.trace)
+    print(render_counters(counters, top=4))
+
+    print("\nwhat the counters alone reveal:")
+    quad = counters[problem.quadrature_path(0)]
+    print(f"  - staging file is shared by {len(quad.ranks)} ranks")
+    print(f"  - {quad.seeks} seeks for {quad.writes} writes "
+          f"(one seek per write: the version-B pathology)")
+    small = sum(
+        count for bucket, count in quad.write_size_histogram.items()
+        if bucket in ("0-100", "100-1K", "1K-10K")
+    )
+    print(f"  - {small}/{quad.writes} writes are under 10 KB "
+          f"(vs. a 64 KB stripe)")
+    print(f"  - meta time {quad.meta_time:.1f}s vs. "
+          f"write time {quad.write_time:.1f}s — the file system spends "
+          "more time coordinating than moving data")
+
+
+if __name__ == "__main__":
+    main()

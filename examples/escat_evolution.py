@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The paper's central narrative: ESCAT's I/O evolution A -> B -> C.
+
+Runs all three versions of the electron-scattering workload, prints
+the Table-2-style breakdown side by side, the seek-duration story of
+Figure 5, and the cross-version comparison of section 6 — all on a
+miniature problem so it finishes in seconds.  (The paper-scale runs
+live in ``benchmarks/``; `repro run table2` regenerates them.)
+
+Run:  python examples/escat_evolution.py
+"""
+
+from repro import IOOp, run_escat, scaled_escat_problem
+from repro.core import (
+    compare_versions,
+    io_time_breakdown,
+    operation_timeline,
+    render_breakdown_table,
+    render_comparison,
+)
+from repro.core.evolution import VersionResult
+
+
+def main() -> None:
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    results = {}
+    for version in ("A", "B", "C"):
+        print(f"running ESCAT version {version} ...")
+        results[version] = run_escat(version, problem)
+    print()
+
+    # Table 2, regenerated.
+    breakdowns = {v: io_time_breakdown(r.trace) for v, r in results.items()}
+    print(render_breakdown_table(
+        breakdowns, title="ESCAT aggregate I/O time breakdown (%)"
+    ))
+    print()
+
+    # Figure 5's story: what M_ASYNC did to the seeks.
+    for version in ("B", "C"):
+        seeks = operation_timeline(
+            results[version].trace, IOOp.SEEK, attribute="duration"
+        )
+        if len(seeks):
+            print(
+                f"version {version}: {len(seeks)} seeks, "
+                f"mean {seeks.values.mean() * 1e3:7.2f} ms, "
+                f"max {seeks.values.max() * 1e3:8.2f} ms"
+            )
+    print()
+
+    # Section 6's comparison.
+    comparison = compare_versions([
+        VersionResult(v, r.trace, r.wall_time, r.n_nodes)
+        for v, r in results.items()
+    ])
+    print(render_comparison(comparison, title="Evolution summary"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a Paragon, run an application, analyze its I/O.
+
+Runs a miniature version of the ESCAT electron-scattering code in its
+unoptimized (A) and optimized (C) forms on a simulated Intel Paragon
+XP/S + PFS, then reproduces the paper's core analyses on the captured
+Pablo traces: the per-operation I/O-time breakdown (Tables 2/3 style),
+the request-size CDF (Figure 2 style), and the design-principle
+evaluation of section 7.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IOOp,
+    evaluate_principles,
+    io_time_breakdown,
+    request_size_cdf,
+    run_escat,
+    scaled_escat_problem,
+)
+from repro.units import KB, fmt_percent
+
+
+def main() -> None:
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    print(f"Problem: ESCAT/{problem.name} — {problem.n_nodes} nodes, "
+          f"{problem.quadrature_bytes // KB} KB of quadrature staging\n")
+
+    results = {}
+    for version in ("A", "C"):
+        print(f"running version {version} ...")
+        results[version] = run_escat(version, problem)
+
+    print()
+    for version, result in results.items():
+        breakdown = io_time_breakdown(result.trace)
+        print(f"ESCAT version {version}:")
+        print(f"  wall time        : {result.wall_time:8.1f} s")
+        print(f"  total I/O time   : {result.io_node_seconds:8.1f} node-s "
+              f"({fmt_percent(result.io_fraction)}% of execution)")
+        print(f"  dominant I/O op  : {breakdown.dominant_op().value} "
+              f"({breakdown.percent(breakdown.dominant_op()):.1f}% of I/O time)")
+        cdf = request_size_cdf(result.trace, IOOp.READ)
+        print(f"  reads < 2 KB     : "
+              f"{cdf.fraction_of_requests_at_or_below(2 * KB - 1):.0%} of "
+              f"requests, "
+              f"{cdf.fraction_of_data_at_or_below(2 * KB - 1):.0%} of data")
+        print()
+
+    speedup = results["A"].wall_time / results["C"].wall_time
+    print(f"I/O optimization speedup A -> C: {speedup:.2f}x\n")
+
+    print("Design-principle opportunities in the unoptimized version:")
+    report = evaluate_principles(results["A"].trace)
+    for line in report.summary_lines():
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

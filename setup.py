@@ -1,0 +1,24 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP-517 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-use-pep517`` (and plain
+``python setup.py develop``) work offline.  Metadata lives in
+``pyproject.toml``; keep the two in sync.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'I/O Requirements of Scientific Applications: "
+        "An Evolutionary View' (Smirni et al., HPDC 1996)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

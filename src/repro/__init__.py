@@ -1,0 +1,92 @@
+"""repro — reproduction of "I/O Requirements of Scientific
+Applications: An Evolutionary View" (Smirni, Aydt, Chien, Reed;
+HPDC 1996).
+
+The package simulates the paper's entire experimental stack — the
+Intel Paragon XP/S, the Intel Parallel File System with its six access
+modes, the Pablo I/O instrumentation — runs faithful workload models
+of the ESCAT and PRISM applications (versions A, B, C), and reproduces
+every table and figure of the paper's evaluation.
+
+Quick start
+-----------
+>>> from repro import run_escat, ETHYLENE, io_time_breakdown   # doctest: +SKIP
+>>> result = run_escat("C", ETHYLENE)                          # doctest: +SKIP
+>>> io_time_breakdown(result.trace).dominant_op()              # doctest: +SKIP
+<IOOp.WRITE: 'write'>
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel.
+``repro.machine``
+    Paragon XP/S machine model (mesh, network, RAID-3 I/O nodes).
+``repro.pfs``
+    Intel PFS simulator (modes, striping, tokens, caches, buffering).
+``repro.pablo``
+    Pablo-style tracing and statistical summaries.
+``repro.core``
+    The paper's characterization analyses (CDFs, breakdowns,
+    timelines, phase classification, design principles).
+``repro.apps``
+    ESCAT and PRISM workload models and datasets.
+``repro.workloads``
+    Synthetic pattern generator and the derived benchmark suite.
+``repro.policies``
+    Aggregation / prefetch / write-behind / adaptive policy layer.
+``repro.experiments``
+    One entry per paper table and figure.
+"""
+
+from repro.apps import (
+    CARBON_MONOXIDE,
+    ETHYLENE,
+    PRISM_TEST,
+    run_escat,
+    run_prism,
+    scaled_escat_problem,
+    scaled_prism_problem,
+)
+from repro.core import (
+    compare_versions,
+    evaluate_principles,
+    execution_fraction,
+    io_time_breakdown,
+    operation_timeline,
+    request_size_cdf,
+)
+from repro.machine import MachineConfig, ParagonXPS
+from repro.pablo import IOEvent, IOOp, Trace, Tracer, read_sddf, write_sddf
+from repro.pfs import PFS, AccessMode, PFSCostModel
+from repro.sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "MachineConfig",
+    "ParagonXPS",
+    "PFS",
+    "AccessMode",
+    "PFSCostModel",
+    "IOEvent",
+    "IOOp",
+    "Trace",
+    "Tracer",
+    "read_sddf",
+    "write_sddf",
+    "run_escat",
+    "run_prism",
+    "ETHYLENE",
+    "CARBON_MONOXIDE",
+    "PRISM_TEST",
+    "scaled_escat_problem",
+    "scaled_prism_problem",
+    "io_time_breakdown",
+    "execution_fraction",
+    "request_size_cdf",
+    "operation_timeline",
+    "compare_versions",
+    "evaluate_principles",
+    "__version__",
+]

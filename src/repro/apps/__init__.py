@@ -1,0 +1,45 @@
+"""Workload models of the two Scalable I/O applications.
+
+- :mod:`~repro.apps.escat` — the Schwinger Multichannel electron
+  scattering code (four I/O phases, out-of-core quadrature staging).
+- :mod:`~repro.apps.prism` — the 3-D spectral-element Navier-Stokes
+  code (three I/O phases, periodic checkpointing).
+
+Each application is modeled at the level the paper characterizes it:
+the operations it issues (sizes, offsets, ordering, access modes, node
+participation per phase), with computation represented by calibrated
+delays.  Versions A, B and C reproduce exactly the structural changes
+Tables 1 and 4 describe.
+"""
+
+from repro.apps.base import AppContext, AppRunResult, run_application
+from repro.apps.datasets import (
+    CARBON_MONOXIDE,
+    ETHYLENE,
+    PRISM_TEST,
+    EscatProblem,
+    PrismProblem,
+    scaled_escat_problem,
+    scaled_prism_problem,
+)
+from repro.apps.escat import ESCAT_VERSIONS, EscatVersion, run_escat
+from repro.apps.prism import PRISM_VERSIONS, PrismVersion, run_prism
+
+__all__ = [
+    "AppContext",
+    "AppRunResult",
+    "run_application",
+    "EscatProblem",
+    "PrismProblem",
+    "ETHYLENE",
+    "CARBON_MONOXIDE",
+    "PRISM_TEST",
+    "scaled_escat_problem",
+    "scaled_prism_problem",
+    "EscatVersion",
+    "ESCAT_VERSIONS",
+    "run_escat",
+    "PrismVersion",
+    "PRISM_VERSIONS",
+    "run_prism",
+]

@@ -1,0 +1,184 @@
+"""Common infrastructure for application workload models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig, ParagonXPS
+from repro.pablo import Trace, TraceMeta, Tracer
+from repro.pfs import PFS, PFSCostModel
+from repro.sim import Barrier, Engine
+from repro.sim.rng import RandomStreams
+
+
+class AppContext:
+    """Everything one application run needs: machine, PFS, tracing.
+
+    Owns a barrier over the application's nodes (the paper's codes
+    synchronize with NX ``gsync``) and per-rank compute helpers.
+    """
+
+    def __init__(
+        self,
+        env: Engine,
+        machine: ParagonXPS,
+        pfs: PFS,
+        tracer: Tracer,
+        n_nodes: int,
+        streams: RandomStreams,
+    ) -> None:
+        if n_nodes < 1:
+            raise WorkloadError(f"need >= 1 node, got {n_nodes}")
+        self.env = env
+        self.machine = machine
+        self.pfs = pfs
+        self.tracer = tracer
+        self.n_nodes = n_nodes
+        self.nodes = machine.partition(n_nodes)
+        self.streams = streams
+        self._barrier = Barrier(env, parties=n_nodes)
+
+    @property
+    def ranks(self) -> range:
+        return range(self.n_nodes)
+
+    def client(self, rank: int):
+        return self.pfs.client(rank)
+
+    def gsync(self):
+        """Barrier over all application nodes (one wait event)."""
+        return self._barrier.wait()
+
+    def compute(self, rank: int, seconds: float, jitter: float = 0.08) -> Generator:
+        """Model computation on ``rank`` with mild deterministic jitter."""
+        yield from self.nodes[rank].compute(seconds, jitter=jitter)
+
+    def broadcast(self, root: int, nbytes: int) -> Generator:
+        """Node-zero-style broadcast to the whole allocation."""
+        positions = [n.mesh_position for n in self.nodes]
+        yield from self.machine.network.broadcast(
+            self.nodes[root].mesh_position, nbytes, positions
+        )
+
+    def gather(self, root: int, nbytes_per_node: int) -> Generator:
+        positions = [n.mesh_position for n in self.nodes]
+        yield from self.machine.network.gather(
+            self.nodes[root].mesh_position, nbytes_per_node, positions
+        )
+
+
+@dataclass
+class AppRunResult:
+    """Outcome of one application run on the simulator."""
+
+    application: str
+    version: str
+    dataset: str
+    n_nodes: int
+    trace: Trace
+    wall_time: float
+
+    @property
+    def io_node_seconds(self) -> float:
+        return self.trace.total_io_time
+
+    @property
+    def io_fraction(self) -> float:
+        """I/O node-seconds over execution node-seconds (Table 3)."""
+        denom = self.wall_time * self.n_nodes
+        return self.io_node_seconds / denom if denom > 0 else 0.0
+
+
+def run_application(
+    rank_process: Callable[[AppContext, int], Generator],
+    n_nodes: int,
+    application: str,
+    version: str,
+    dataset: str,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    seed: int = 0,
+    os_release: str = "OSF/1 R1.3",
+) -> AppRunResult:
+    """Run one application version on a fresh simulated machine.
+
+    ``rank_process(ctx, rank)`` must be a generator modeling the whole
+    execution of one rank.  The run's wall time is when the last rank
+    finishes.
+    """
+    env = Engine()
+    streams = RandomStreams(seed=seed)
+    config = machine_config or MachineConfig.caltech()
+    machine = ParagonXPS(env, config, streams=streams.fork("machine"))
+    tracer = Tracer(
+        TraceMeta(
+            application=application,
+            version=version,
+            dataset=dataset,
+            nodes=n_nodes,
+            os_release=os_release,
+        )
+    )
+    pfs = PFS(env, machine, costs=costs, tracer=tracer)
+    ctx = AppContext(env, machine, pfs, tracer, n_nodes, streams)
+    procs = [
+        env.process(rank_process(ctx, rank), name=f"{application}.{rank}")
+        for rank in ctx.ranks
+    ]
+    env.run(until=env.all_of(procs))
+    wall = env.now
+    return AppRunResult(
+        application=application,
+        version=version,
+        dataset=dataset,
+        n_nodes=n_nodes,
+        trace=tracer.finish(),
+        wall_time=wall,
+    )
+
+
+def tile_sizes(total: int, sizes: Sequence[int]) -> List[int]:
+    """Cover ``total`` bytes with requests cycling through ``sizes``.
+
+    The final request is the remainder (strictly smaller than the next
+    size in the cycle), so every emitted request is at most
+    ``max(sizes)`` — matching the paper's observation that all the
+    coordinator's staging writes are small.
+    """
+    if total < 0:
+        raise WorkloadError(f"negative total {total}")
+    if not sizes or min(sizes) < 1:
+        raise WorkloadError(f"invalid size cycle {sizes!r}")
+    out: List[int] = []
+    remaining = total
+    i = 0
+    while remaining > 0:
+        size = min(sizes[i % len(sizes)], remaining)
+        out.append(size)
+        remaining -= size
+        i += 1
+    return out
+
+
+def spread_sizes(total: int, count: int, sizes: Sequence[int]) -> List[int]:
+    """Deterministically split ``total`` bytes into ``count`` requests
+    drawn round-robin from ``sizes`` (last request absorbs remainder).
+
+    Used to model the mixed small request sizes the codes issue when
+    parsing text input files or emitting records.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if total < count:
+        raise WorkloadError(f"cannot split {total} bytes into {count} requests")
+    out: List[int] = []
+    remaining = total
+    for i in range(count - 1):
+        size = sizes[i % len(sizes)]
+        size = min(size, remaining - (count - 1 - i))  # leave >=1 byte each
+        out.append(size)
+        remaining -= size
+    out.append(remaining)
+    return out

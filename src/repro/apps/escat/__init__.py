@@ -1,0 +1,18 @@
+"""ESCAT: the Schwinger Multichannel electron scattering workload.
+
+Four I/O phases (section 4 of the paper):
+
+1. initialization data read from three input files (compulsory I/O);
+2. quadrature data written to disk in synchronized compute/write
+   cycles (data staging);
+3. quadrature data read back per collision energy (data staging);
+4. results written per collision channel (compulsory I/O).
+
+Versions A, B and C reproduce Table 1's structure exactly — who does
+the I/O in each phase and under which PFS mode.
+"""
+
+from repro.apps.escat.versions import ESCAT_VERSIONS, EscatVersion
+from repro.apps.escat.app import run_escat, escat_rank_process
+
+__all__ = ["EscatVersion", "ESCAT_VERSIONS", "run_escat", "escat_rank_process"]

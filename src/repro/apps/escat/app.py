@@ -1,0 +1,314 @@
+"""The ESCAT workload model: four phases as simulation processes."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.apps.base import (
+    AppContext,
+    AppRunResult,
+    run_application,
+    spread_sizes,
+    tile_sizes,
+)
+from repro.apps.datasets import EscatProblem
+from repro.apps.escat.versions import ESCAT_VERSIONS, EscatVersion
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig
+from repro.pfs import PFSCostModel
+from repro.pfs.modes import AccessMode
+from repro.sim.sync import Gate
+
+#: Phase labels stamped onto trace events.
+PHASE1 = "phase-1-init"
+PHASE2 = "phase-2-staging-write"
+PHASE3 = "phase-3-staging-read"
+PHASE4 = "phase-4-results"
+
+
+class _SharedState:
+    """Cross-rank coordination objects for one ESCAT run."""
+
+    def __init__(self, ctx: AppContext, problem: EscatProblem) -> None:
+        self.setup_done = Gate(ctx.env)
+        self.phase1_bcast = Gate(ctx.env)
+        self.energy_bcast = [Gate(ctx.env) for _ in range(problem.n_energies)]
+
+
+def escat_rank_process(
+    ctx: AppContext,
+    rank: int,
+    version: EscatVersion,
+    problem: EscatProblem,
+    shared: _SharedState,
+) -> Generator:
+    """The whole execution of one ESCAT rank."""
+    cli = ctx.client(rank)
+    env = ctx.env
+    group = list(ctx.ranks)
+
+    # ------------------------------------------------------------- setup
+    # Input files must exist before the run; rank 0 materializes them
+    # with tracing paused (they are an artifact of the simulation, not
+    # of the application being characterized).
+    if rank == 0:
+        ctx.tracer.pause()
+        h = yield from cli.open(problem.input_paths[0])
+        yield from cli.write(h, problem.problemdef_bytes)
+        yield from cli.close(h)
+        half = problem.matrix_reads // 2
+        for path, chunks in (
+            (problem.input_paths[1], half),
+            (problem.input_paths[2], problem.matrix_reads - half),
+        ):
+            h = yield from cli.open(path)
+            yield from cli.write(h, chunks * problem.matrix_chunk)
+            yield from cli.close(h)
+        ctx.tracer.resume()
+        shared.setup_done.open()
+    else:
+        yield shared.setup_done.wait()
+
+    yield from ctx.compute(rank, problem.setup_compute)
+
+    # ------------------------------------------------------------ phase 1
+    cli.phase = PHASE1
+    if version.phase1_all_nodes or rank == 0:
+        yield from _read_input_files(
+            ctx, cli, problem, sync_after_opens=version.phase1_all_nodes
+        )
+    if not version.phase1_all_nodes:
+        # Node zero broadcasts the input data to the other nodes.
+        if rank == 0:
+            yield from ctx.broadcast(
+                0, problem.problemdef_bytes + problem.matrix_bytes
+            )
+            shared.phase1_bcast.open()
+        else:
+            yield shared.phase1_bcast.wait()
+
+    # ------------------------------------------------------------ phase 2
+    cli.phase = PHASE2
+    overhead = (
+        problem.version_cycle_overhead.get(version.overhead_key, 0.0)
+        * version.overhead_scale
+    )
+    handles: Dict[int, object] = {}
+    if version.phase2_node0:
+        if rank == 0:
+            for ch in range(problem.n_channels):
+                handles[ch] = yield from cli.open(problem.quadrature_path(ch))
+    else:
+        # Resynchronize, then a short jittered setup (buffer
+        # allocation) — its spread is what collective stragglers cost.
+        yield ctx.gsync()
+        yield from ctx.compute(rank, 2.2, jitter=0.35)
+        phase2_mode = (
+            version.phase2_mode
+            if version.phase2_mode != AccessMode.M_UNIX else None
+        )
+        for ch in range(problem.n_channels):
+            handles[ch] = yield from cli.gopen(
+                problem.quadrature_path(ch), group=group,
+                mode=phase2_mode if version.mode_via_gopen else None,
+            )
+        if phase2_mode is not None and not version.mode_via_gopen:
+            yield from ctx.compute(rank, 1.2, jitter=0.35)
+            for ch in range(problem.n_channels):
+                yield from cli.setiomode(
+                    handles[ch], phase2_mode, group=group
+                )
+
+    node0_cycle_sizes = tile_sizes(
+        ctx.n_nodes * problem.write_chunk,
+        problem.node0_write_sizes,
+    )
+    for cycle in range(problem.total_cycles):
+        channel = cycle % problem.n_channels
+        iteration = cycle // problem.n_channels
+        yield ctx.gsync()
+        yield from ctx.compute(rank, problem.cycle_compute + overhead)
+        if version.phase2_node0:
+            # All nodes funnel their cycle contribution to node zero.
+            if rank == 0:
+                yield from ctx.gather(0, problem.write_chunk)
+                for size in node0_cycle_sizes:
+                    yield from cli.write(handles[channel], size)
+        else:
+            # "Each node seeks to a calculated offset dependent on the
+            # node number, iteration, and the Paragon PFS stripe size."
+            # Stripe-strided ownership: node ``rank`` owns stripes
+            # {rank + j*n_nodes} and fills its current stripe chunk by
+            # chunk, so each cycle's writes spread across all I/O
+            # nodes.
+            stripe = ctx.machine.config.stripe_size
+            chunks_per_stripe = max(1, stripe // problem.write_chunk)
+            stripe_round = iteration // chunks_per_stripe
+            within = iteration % chunks_per_stripe
+            offset = (
+                (stripe_round * ctx.n_nodes + rank) * stripe
+                + within * problem.write_chunk
+            )
+            yield from cli.seek(handles[channel], offset)
+            yield from cli.write(handles[channel], problem.write_chunk)
+    for h in handles.values():
+        yield from cli.close(h)
+    handles.clear()
+
+    # ------------------------------------------------------------ phase 3
+    cli.phase = PHASE3
+    for energy in range(problem.n_energies):
+        yield ctx.gsync()
+        yield from ctx.compute(rank, problem.energy_compute)
+        # The energy-dependent setup ends with a collective solver
+        # step, so nodes re-synchronize before touching the files.
+        yield ctx.gsync()
+        yield from ctx.compute(rank, 2.2, jitter=0.35)
+        if version.phase3_node0:
+            if rank == 0:
+                yield from _node0_reload(ctx, cli, problem)
+                shared.energy_bcast[energy].open()
+            else:
+                yield shared.energy_bcast[energy].wait()
+        else:
+            yield from _record_reload(ctx, cli, problem, version, rank, group)
+
+    # ------------------------------------------------------------ phase 4
+    cli.phase = PHASE4
+    yield from ctx.compute(rank, problem.final_compute)
+    if rank == 0:
+        for ch in range(problem.n_channels):
+            h = yield from cli.open(problem.result_path(ch))
+            total = sum(
+                problem.result_sizes[i % len(problem.result_sizes)]
+                for i in range(problem.result_writes_per_channel)
+            )
+            for size in spread_sizes(
+                total, problem.result_writes_per_channel, problem.result_sizes
+            ):
+                yield from cli.write(h, size)
+            yield from cli.close(h)
+    yield ctx.gsync()
+
+
+def _read_input_files(
+    ctx: AppContext, cli, problem: EscatProblem,
+    sync_after_opens: bool = False,
+) -> Generator:
+    """Open the three input files up front, read them, close them —
+    the codes' natural input-parsing structure.  When every node
+    participates (version A), they synchronize after the open storm
+    and parse in lockstep, which is what serializes the reads."""
+    handles = []
+    for path in problem.input_paths:
+        handles.append((yield from cli.open(path)))
+    if sync_after_opens:
+        yield ctx.gsync()
+    problemdef, mat1, mat2 = handles
+    # Problem definition: many small text reads.
+    sizes = problem.problemdef_sizes
+    for i in range(problem.problemdef_reads):
+        yield from cli.read(problemdef, sizes[i % len(sizes)])
+    # Initial matrices: 64 KB chunk reads.
+    half = problem.matrix_reads // 2
+    for _ in range(half):
+        yield from cli.read(mat1, problem.matrix_chunk)
+    for _ in range(problem.matrix_reads - half):
+        yield from cli.read(mat2, problem.matrix_chunk)
+    for h in handles:
+        yield from cli.close(h)
+
+
+def _node0_reload(ctx: AppContext, cli, problem: EscatProblem) -> Generator:
+    """Version A phase three: node zero reads the quadrature in small
+    chunks and broadcasts it along the way."""
+    chunk = problem.reload_chunk
+    bcast_batch = problem.record_size  # broadcast per reassembled record
+    for ch in range(problem.n_channels):
+        h = yield from cli.open(problem.quadrature_path(ch))
+        read_bytes = 0
+        since_bcast = 0
+        while read_bytes < problem.channel_bytes:
+            take = min(chunk, problem.channel_bytes - read_bytes)
+            yield from cli.read(h, take)
+            read_bytes += take
+            since_bcast += take
+            if since_bcast >= bcast_batch:
+                yield from ctx.broadcast(0, since_bcast)
+                since_bcast = 0
+        if since_bcast:
+            yield from ctx.broadcast(0, since_bcast)
+        yield from cli.close(h)
+
+
+def _record_reload(
+    ctx: AppContext,
+    cli,
+    problem: EscatProblem,
+    version: EscatVersion,
+    rank: int,
+    group: List[int],
+) -> Generator:
+    """Versions B/C phase three: all nodes reload via M_RECORD."""
+    for ch in range(problem.n_channels):
+        h = yield from cli.gopen(
+            problem.quadrature_path(ch), group=group,
+            mode=version.phase3_mode if version.mode_via_gopen else None,
+        )
+        if not version.mode_via_gopen:
+            yield from ctx.compute(rank, 0.6)
+            yield from cli.setiomode(h, version.phase3_mode, group=group)
+        for r in range(problem.records_per_node_per_channel):
+            offset = (r * ctx.n_nodes + rank) * problem.record_size
+            yield from cli.seek(h, offset)
+            extents = yield from cli.read(h, problem.record_size)
+            covered = sum(e.end - e.start for e in extents)
+            if covered != problem.record_size:
+                raise WorkloadError(
+                    f"quadrature record {r} of channel {ch} incomplete: "
+                    f"{covered} of {problem.record_size} bytes staged"
+                )
+            # Combine the record with energy-dependent structures.
+            yield from ctx.compute(rank, problem.record_compute)
+        yield from cli.close(h)
+
+
+def run_escat(
+    version: str,
+    problem: EscatProblem,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    seed: int = 0,
+    version_obj: Optional[EscatVersion] = None,
+) -> AppRunResult:
+    """Run one ESCAT version on a fresh simulated Paragon.
+
+    ``version`` is "A", "B" or "C" (or pass ``version_obj`` for one of
+    the Figure-1 progression builds).
+    """
+    v = version_obj or ESCAT_VERSIONS.get(version)
+    if v is None:
+        raise WorkloadError(
+            f"unknown ESCAT version {version!r}; have {sorted(ESCAT_VERSIONS)}"
+        )
+    problem.validate()
+
+    shared_holder: dict = {}
+
+    def rank_process(ctx: AppContext, rank: int) -> Generator:
+        shared = shared_holder.get("shared")
+        if shared is None:
+            shared = shared_holder["shared"] = _SharedState(ctx, problem)
+        yield from escat_rank_process(ctx, rank, v, problem, shared)
+
+    return run_application(
+        rank_process,
+        n_nodes=problem.n_nodes,
+        application="ESCAT",
+        version=v.name,
+        dataset=problem.name,
+        machine_config=machine_config,
+        costs=costs,
+        seed=seed,
+        os_release=v.os_release,
+    )

@@ -1,0 +1,120 @@
+"""ESCAT code versions (Table 1 of the paper).
+
+========= =================== ================== ===================
+phase     version A           version B          version C
+========= =================== ================== ===================
+one       all nodes, M_UNIX   node 0, M_UNIX     node 0, M_UNIX
+two       node 0, M_UNIX      all nodes, M_UNIX  all nodes, M_ASYNC
+three     node 0, M_UNIX      all nodes, M_RECORD all nodes, M_RECORD
+four      node 0, M_UNIX      node 0, M_UNIX     node 0, M_UNIX
+========= =================== ================== ===================
+
+Version A reflects the code's Intel Touchstone Delta (CFS) heritage;
+B restructures the input reads through node zero, moves the staging
+writes onto all nodes (with the infamous per-write seeks), and adopts
+``gopen`` and ``M_RECORD``; C replaces phase two's ``M_UNIX`` with the
+``M_ASYNC`` mode Intel added in OSF/1 R1.3.
+
+The six entries of :data:`ESCAT_PROGRESSIONS` model Figure 1's six
+instrumented executions: the three structural versions plus the
+intermediate builds (operating-system and Pablo-release updates) the
+eighteen-month study captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.pfs.modes import AccessMode
+
+
+@dataclass(frozen=True)
+class EscatVersion:
+    """Structural description of one ESCAT code version."""
+
+    name: str
+    os_release: str
+    pablo_release: str
+    #: Phase one: do all nodes read the input files, or node 0 + bcast?
+    phase1_all_nodes: bool
+    #: Phase two: does node zero funnel the staging writes?
+    phase2_node0: bool
+    phase2_mode: AccessMode
+    #: Phase three: node-zero read + broadcast, or all-node M_RECORD?
+    phase3_node0: bool
+    phase3_mode: AccessMode
+    #: Use gopen for the staging files (B and C).
+    use_gopen: bool
+    #: Extra per-cycle non-I/O overhead key into the problem's
+    #: version_cycle_overhead table.
+    overhead_key: str
+    #: Multiplier on the per-cycle overhead (models the intermediate
+    #: builds of Figure 1's six-execution progression).
+    overhead_scale: float = 1.0
+    #: Pass the access mode directly to gopen instead of issuing a
+    #: separate collective setiomode.  The carbon-monoxide study ran a
+    #: later build that adopted this (Table 3 shows no iomode row for
+    #: it), while the ethylene version-C runs still paid iomode cost.
+    mode_via_gopen: bool = False
+
+
+VERSION_A = EscatVersion(
+    name="A",
+    os_release="OSF/1 R1.2",
+    pablo_release="Pablo Beta",
+    phase1_all_nodes=True,
+    phase2_node0=True,
+    phase2_mode=AccessMode.M_UNIX,
+    phase3_node0=True,
+    phase3_mode=AccessMode.M_UNIX,
+    use_gopen=False,
+    overhead_key="A",
+)
+
+VERSION_B = EscatVersion(
+    name="B",
+    os_release="OSF/1 R1.2",
+    pablo_release="Pablo 4.0",
+    phase1_all_nodes=False,
+    phase2_node0=False,
+    phase2_mode=AccessMode.M_UNIX,
+    phase3_node0=False,
+    phase3_mode=AccessMode.M_RECORD,
+    use_gopen=True,
+    overhead_key="B",
+)
+
+VERSION_C = EscatVersion(
+    name="C",
+    os_release="OSF/1 R1.3",
+    pablo_release="Pablo 4.0",
+    phase1_all_nodes=False,
+    phase2_node0=False,
+    phase2_mode=AccessMode.M_ASYNC,
+    phase3_node0=False,
+    phase3_mode=AccessMode.M_RECORD,
+    use_gopen=True,
+    overhead_key="C",
+)
+
+#: The three structural versions the tables analyze.
+ESCAT_VERSIONS: Dict[str, EscatVersion] = {
+    "A": VERSION_A,
+    "B": VERSION_B,
+    "C": VERSION_C,
+}
+
+#: Figure 1's six instrumented executions.  The intermediate entries
+#: are the same structural versions under OS/instrumentation updates,
+#: visible as small wall-time deltas.
+ESCAT_PROGRESSIONS: List[EscatVersion] = [
+    VERSION_A,
+    replace(
+        VERSION_A, name="A2", pablo_release="Pablo 4.0", overhead_scale=0.93
+    ),
+    VERSION_B,
+    replace(VERSION_B, name="B2", os_release="OSF/1 R1.3", overhead_scale=0.90),
+    replace(VERSION_B, name="B3", os_release="OSF/1 R1.3", overhead_scale=0.78),
+    VERSION_C,
+]

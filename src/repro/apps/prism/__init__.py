@@ -1,0 +1,19 @@
+"""PRISM: the 3-D Navier-Stokes spectral-element workload.
+
+Three I/O phases (section 5 of the paper):
+
+1. three input files initialize the system (compulsory I/O):
+   parameters, restart (header + body), connectivity;
+2. time integration with periodic checkpointing, measurement/history
+   and flow-statistics output through node zero;
+3. postprocessing writes the field file (compulsory I/O).
+
+Versions A, B and C reproduce Table 4's structure, including the
+version-C decision to disable system I/O buffering on the restart
+file — with the disproportionate header-read cost the paper analyzes.
+"""
+
+from repro.apps.prism.versions import PRISM_VERSIONS, PrismVersion
+from repro.apps.prism.app import run_prism, prism_rank_process
+
+__all__ = ["PrismVersion", "PRISM_VERSIONS", "run_prism", "prism_rank_process"]

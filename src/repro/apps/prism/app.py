@@ -1,0 +1,275 @@
+"""The PRISM workload model: three phases as simulation processes."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.apps.base import AppContext, AppRunResult, run_application
+from repro.apps.datasets import PrismProblem
+from repro.apps.prism.versions import PRISM_VERSIONS, PrismVersion
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig
+from repro.pfs import PFSCostModel
+from repro.pfs.modes import AccessMode
+from repro.sim.sync import Gate
+
+PHASE1 = "phase-1-init"
+PHASE2 = "phase-2-integration"
+PHASE3 = "phase-3-postprocessing"
+
+#: Small jittered computation between input parses; the jitter is what
+#: collective reads' straggler waits are made of.
+_PARSE_COMPUTE = 0.004
+_PARSE_JITTER = 0.6
+
+
+class _SharedState:
+    """Cross-rank coordination for one PRISM run."""
+
+    def __init__(self, ctx: AppContext) -> None:
+        self.setup_done = Gate(ctx.env)
+        self.field_gate = Gate(ctx.env)
+
+
+def prism_rank_process(
+    ctx: AppContext,
+    rank: int,
+    version: PrismVersion,
+    problem: PrismProblem,
+    shared: _SharedState,
+) -> Generator:
+    """The whole execution of one PRISM rank."""
+    cli = ctx.client(rank)
+    group = list(ctx.ranks)
+
+    # ------------------------------------------------------------- setup
+    if rank == 0:
+        ctx.tracer.pause()
+        for path, nbytes in (
+            (problem.rea_path, problem.rea_bytes),
+            (problem.cnn_path, max(
+                problem.cnn_binary_reads * problem.cnn_binary_size,
+                sum(problem.cnn_text_sizes[i % len(problem.cnn_text_sizes)]
+                    for i in range(problem.cnn_text_reads)),
+            )),
+        ):
+            h = yield from cli.open(path)
+            yield from cli.write(h, nbytes)
+            yield from cli.close(h)
+        h = yield from cli.open(problem.rst_path)
+        yield from cli.write(
+            h,
+            problem.rst_header_reads * problem.rst_header_size
+            + problem.rst_body_bytes,
+        )
+        yield from cli.close(h)
+        ctx.tracer.resume()
+        shared.setup_done.open()
+    else:
+        yield shared.setup_done.wait()
+
+    yield from ctx.compute(rank, problem.setup_compute)
+
+    # ------------------------------------------------------------ phase 1
+    cli.phase = PHASE1
+    yield from _phase1(ctx, cli, rank, version, problem, group)
+
+    # ------------------------------------------------------------ phase 2
+    cli.phase = PHASE2
+    out_handles = {}
+    if rank == 0:
+        for path in (
+            problem.mea_path,
+            problem.his_path,
+            problem.chk_path,
+            *(problem.stat_path(i) for i in range(problem.stat_files)),
+        ):
+            out_handles[path] = yield from cli.open(path)
+
+    step_compute = problem.step_compute[version.name]
+    for step in range(1, problem.steps + 1):
+        yield ctx.gsync()
+        yield from ctx.compute(rank, step_compute, jitter=0.03)
+        if rank == 0:
+            yield from cli.write(out_handles[problem.mea_path],
+                                 problem.measurement_write)
+            yield from cli.write(out_handles[problem.his_path],
+                                 problem.history_write)
+        if step % problem.checkpoint_every == 0:
+            # Checkpoint: the field state funnels to node zero.
+            yield ctx.gsync()
+            if rank == 0:
+                yield from ctx.gather(
+                    0,
+                    problem.checkpoint_writes * problem.checkpoint_write_size
+                    // ctx.n_nodes,
+                )
+                for _ in range(problem.checkpoint_writes):
+                    yield from cli.write(
+                        out_handles[problem.chk_path],
+                        problem.checkpoint_write_size,
+                    )
+                for i in range(problem.stat_files):
+                    for _ in range(problem.stat_writes_per_checkpoint):
+                        yield from cli.write(
+                            out_handles[problem.stat_path(i)],
+                            problem.stat_write_size,
+                        )
+    if rank == 0:
+        for h in out_handles.values():
+            yield from cli.close(h)
+
+    # ------------------------------------------------------------ phase 3
+    cli.phase = PHASE3
+    yield ctx.gsync()
+    yield from ctx.compute(rank, problem.final_compute)
+    if version.phase3_node0:
+        if rank == 0:
+            yield from ctx.gather(0, problem.field_bytes // ctx.n_nodes)
+            h = yield from cli.open(problem.fld_path)
+            total_writes = ctx.n_nodes * problem.field_writes_per_node
+            for _ in range(total_writes):
+                yield from cli.write(h, problem.field_write_size)
+            yield from cli.close(h)
+            shared.field_gate.open()
+        else:
+            yield shared.field_gate.wait()
+    else:
+        if version.use_gopen:
+            h = yield from cli.gopen(
+                problem.fld_path, group=group, mode=AccessMode.M_ASYNC
+            )
+        else:
+            h = yield from cli.open(problem.fld_path)
+            yield from cli.setiomode(h, AccessMode.M_ASYNC, group=group)
+        slab = problem.field_writes_per_node * problem.field_write_size
+        yield from cli.seek(h, rank * slab)
+        for _ in range(problem.field_writes_per_node):
+            yield from cli.write(h, problem.field_write_size)
+        yield from cli.close(h)
+
+
+def _phase1(
+    ctx: AppContext, cli, rank: int, version: PrismVersion,
+    problem: PrismProblem, group,
+) -> Generator:
+    """Phase one: the three input files, per Table 4.
+
+    All nodes open the three inputs up front (the open storm that
+    dominates versions A and B), synchronize, then process each file.
+    """
+    yield ctx.gsync()
+    h_rea = yield from _open_input(
+        cli, problem.rea_path, version, version.param_mode, group,
+        buffered=True,
+    )
+    h_rst = yield from _open_input(
+        cli, problem.rst_path, version, version.rst_header_mode, group,
+        buffered=version.rst_buffered,
+    )
+    h_cnn = yield from _open_input(
+        cli, problem.cnn_path, version, version.param_mode, group,
+        buffered=True,
+    )
+    # Initialization proceeds in lockstep once everything is open.
+    yield ctx.gsync()
+
+    # -- parameter file ----------------------------------------------------
+    if version.param_mode != AccessMode.M_UNIX and not version.use_gopen:
+        yield from cli.setiomode(h_rea, version.param_mode, group=group)
+    for i in range(problem.rea_reads):
+        yield from cli.read(
+            h_rea, problem.rea_sizes[i % len(problem.rea_sizes)]
+        )
+        yield from ctx.compute(rank, _PARSE_COMPUTE, jitter=_PARSE_JITTER)
+    yield from cli.close(h_rea)
+
+    # -- restart file ---------------------------------------------------------
+    if version.rst_header_mode != AccessMode.M_UNIX and not version.use_gopen:
+        yield from cli.setiomode(h_rst, version.rst_header_mode, group=group)
+    for _ in range(problem.rst_header_reads):
+        yield from cli.read(h_rst, problem.rst_header_size)
+    if version.rst_body_mode != version.rst_header_mode:
+        yield from cli.setiomode(h_rst, version.rst_body_mode, group=group)
+    header_bytes = problem.rst_header_reads * problem.rst_header_size
+    for r in range(problem.rst_body_reads_per_node):
+        offset = header_bytes + (
+            (r * ctx.n_nodes + rank) * problem.rst_body_read_size
+        )
+        if version.rst_body_mode != AccessMode.M_GLOBAL:
+            yield from cli.seek(h_rst, offset)
+        extents = yield from cli.read(h_rst, problem.rst_body_read_size)
+        covered = sum(e.end - e.start for e in extents)
+        if covered != problem.rst_body_read_size:
+            raise WorkloadError(
+                f"restart body record {r} incomplete on rank {rank}"
+            )
+    yield from cli.close(h_rst)
+
+    # -- connectivity file -----------------------------------------------------
+    if version.param_mode != AccessMode.M_UNIX and not version.use_gopen:
+        yield from cli.setiomode(h_cnn, version.param_mode, group=group)
+    if version.cnn_binary:
+        for _ in range(problem.cnn_binary_reads):
+            yield from cli.read(h_cnn, problem.cnn_binary_size)
+    else:
+        for i in range(problem.cnn_text_reads):
+            yield from cli.read(
+                h_cnn, problem.cnn_text_sizes[i % len(problem.cnn_text_sizes)]
+            )
+            yield from ctx.compute(rank, _PARSE_COMPUTE, jitter=_PARSE_JITTER)
+    yield from cli.close(h_cnn)
+
+
+def _open_input(
+    cli, path: str, version: PrismVersion, mode, group, buffered: bool
+) -> Generator:
+    """Open one input file the way this version does it.
+
+    Non-gopen versions install access modes later (after the post-open
+    barrier), so the setiomode stragglers reflect parse drift rather
+    than the open storm.
+    """
+    if version.use_gopen:
+        handle = yield from cli.gopen(
+            path, group=group, mode=mode, buffered=buffered
+        )
+    else:
+        handle = yield from cli.open(path, buffered=buffered)
+    return handle
+
+
+def run_prism(
+    version: str,
+    problem: PrismProblem,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    seed: int = 0,
+) -> AppRunResult:
+    """Run one PRISM version ("A", "B" or "C") on a fresh machine."""
+    v = PRISM_VERSIONS.get(version)
+    if v is None:
+        raise WorkloadError(
+            f"unknown PRISM version {version!r}; have {sorted(PRISM_VERSIONS)}"
+        )
+    problem.validate()
+
+    shared_holder: dict = {}
+
+    def rank_process(ctx: AppContext, rank: int) -> Generator:
+        shared = shared_holder.get("shared")
+        if shared is None:
+            shared = shared_holder["shared"] = _SharedState(ctx)
+        yield from prism_rank_process(ctx, rank, v, problem, shared)
+
+    return run_application(
+        rank_process,
+        n_nodes=problem.n_nodes,
+        application="PRISM",
+        version=v.name,
+        dataset=problem.name,
+        machine_config=machine_config,
+        costs=costs,
+        seed=seed,
+        os_release="OSF/1 R1.3",
+    )

@@ -1,0 +1,84 @@
+"""PRISM code versions (Table 4 of the paper).
+
+All three ran under OSF/1 R1.3 with Pablo 4.0.
+
+========= ========================== ============================= ==========================
+phase     version A                  version B                     version C
+========= ========================== ============================= ==========================
+one       all nodes                  all nodes                     all nodes
+          P/R/C: open + M_UNIX       P: open + M_GLOBAL            P: gopen + M_GLOBAL
+                                     R: header M_GLOBAL,           R: gopen + M_ASYNC,
+                                        body M_RECORD                 buffering disabled
+                                     C: open + M_GLOBAL            C: gopen + M_GLOBAL,
+                                                                      binary format
+two       node zero, M_UNIX          node zero, M_UNIX             node zero, M_UNIX
+three     node zero, M_UNIX          all nodes, M_ASYNC            all nodes, M_ASYNC
+========= ========================== ============================= ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.pfs.modes import AccessMode
+
+
+@dataclass(frozen=True)
+class PrismVersion:
+    """Structural description of one PRISM code version."""
+
+    name: str
+    #: Use gopen (which also sets the mode) instead of open+setiomode.
+    use_gopen: bool
+    #: Mode for the parameter (.rea) and connectivity (.cnn) files.
+    param_mode: AccessMode
+    #: Mode for the restart header / body.
+    rst_header_mode: AccessMode
+    rst_body_mode: AccessMode
+    #: Client buffering enabled on the restart file?
+    rst_buffered: bool
+    #: Connectivity file read as binary (C) or text (A/B)?
+    cnn_binary: bool
+    #: Phase three: node-zero funnel (A) or all-node M_ASYNC (B/C)?
+    phase3_node0: bool
+
+
+VERSION_A = PrismVersion(
+    name="A",
+    use_gopen=False,
+    param_mode=AccessMode.M_UNIX,
+    rst_header_mode=AccessMode.M_UNIX,
+    rst_body_mode=AccessMode.M_UNIX,
+    rst_buffered=True,
+    cnn_binary=False,
+    phase3_node0=True,
+)
+
+VERSION_B = PrismVersion(
+    name="B",
+    use_gopen=False,
+    param_mode=AccessMode.M_GLOBAL,
+    rst_header_mode=AccessMode.M_GLOBAL,
+    rst_body_mode=AccessMode.M_RECORD,
+    rst_buffered=True,
+    cnn_binary=False,
+    phase3_node0=False,
+)
+
+VERSION_C = PrismVersion(
+    name="C",
+    use_gopen=True,
+    param_mode=AccessMode.M_GLOBAL,
+    rst_header_mode=AccessMode.M_ASYNC,
+    rst_body_mode=AccessMode.M_ASYNC,
+    rst_buffered=False,
+    cnn_binary=True,
+    phase3_node0=False,
+)
+
+PRISM_VERSIONS: Dict[str, PrismVersion] = {
+    "A": VERSION_A,
+    "B": VERSION_B,
+    "C": VERSION_C,
+}

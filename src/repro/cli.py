@@ -1,0 +1,194 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    List every reproducible experiment (tables 1-5, figures 1-9).
+``repro run <id> [--fast]``
+    Regenerate one experiment and print its table/summary.
+``repro all [--fast]``
+    Regenerate everything (the EXPERIMENTS.md source of truth).
+``repro validate [--fast]``
+    Score every reproduced claim (shape checks) against fresh runs.
+``repro suite [--nodes N]``
+    Run the derived synthetic benchmark suite and print a summary.
+``repro trace <app> <version> <output.sddf> [--fast]``
+    Run an application version and dump its Pablo trace as SDDF.
+``repro counters <app> <version> [--top N] [--fast]``
+    Darshan-style per-file counter report for an application run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"{exp_id:10s} {EXPERIMENTS[exp_id].description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+
+    print(run_experiment(args.id, fast=args.fast, plot=args.plot))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.experiments import list_experiments, run_experiment
+
+    for exp_id in list_experiments():
+        print(run_experiment(exp_id, fast=args.fast))
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validate import validate_all
+
+    card = validate_all(fast=args.fast)
+    print(card.render())
+    return 0 if card.all_passed else 1
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.workloads import build_suite, run_workload  # type: ignore[attr-defined]
+
+    suite = build_suite(n_nodes=args.nodes)
+    print(f"{'benchmark':34s} {'wall(s)':>9s} {'I/O(node-s)':>12s} {'ops':>7s}")
+    for name, workload in suite.items():
+        result = run_workload(workload)
+        print(
+            f"{name:34s} {result.wall_time:9.2f} "
+            f"{result.io_node_seconds:12.2f} {len(result.trace):7d}"
+        )
+    return 0
+
+
+def _cmd_counters(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import escat_result, prism_result
+    from repro.pablo import derive_counters, render_counters
+
+    if args.app == "escat":
+        result = escat_result(args.version, fast=args.fast)
+    elif args.app == "prism":
+        result = prism_result(args.version, fast=args.fast)
+    else:
+        raise ReproError(f"unknown application {args.app!r}")
+    print(render_counters(derive_counters(result.trace), top=args.top))
+    return 0
+
+
+def _cmd_rates(args: argparse.Namespace) -> int:
+    from repro.core.bandwidth import render_rates, transfer_rates
+    from repro.experiments.runner import escat_result, prism_result
+
+    if args.app == "escat":
+        result = escat_result(args.version, fast=args.fast)
+    elif args.app == "prism":
+        result = prism_result(args.version, fast=args.fast)
+    else:
+        raise ReproError(f"unknown application {args.app!r}")
+    print(render_rates(transfer_rates(result.trace)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import escat_result, prism_result
+    from repro.pablo import write_sddf
+
+    if args.app == "escat":
+        result = escat_result(args.version, fast=args.fast)
+    elif args.app == "prism":
+        result = prism_result(args.version, fast=args.fast)
+    else:
+        raise ReproError(f"unknown application {args.app!r}")
+    write_sddf(result.trace, args.output)
+    print(
+        f"wrote {len(result.trace)} events "
+        f"({result.application} {result.version}) to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'I/O Requirements of Scientific Applications: "
+            "An Evolutionary View' (HPDC 1996)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list reproducible experiments")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("run", help="regenerate one table/figure")
+    p.add_argument("id", help="experiment id (see `repro list`)")
+    p.add_argument("--fast", action="store_true",
+                   help="use miniature problems (quick demo)")
+    p.add_argument("--plot", action="store_true",
+                   help="render the figure as a terminal plot")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("all", help="regenerate every table and figure")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_all)
+
+    p = sub.add_parser(
+        "validate", help="score the paper's claims against fresh runs"
+    )
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("suite", help="run the synthetic benchmark suite")
+    p.add_argument("--nodes", type=int, default=16)
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "counters", help="Darshan-style per-file counter report"
+    )
+    p.add_argument("app", choices=["escat", "prism"])
+    p.add_argument("version", choices=["A", "B", "C"])
+    p.add_argument("--top", type=int, default=None)
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_counters)
+
+    p = sub.add_parser(
+        "rates", help="achieved transfer rates per mode and size class"
+    )
+    p.add_argument("app", choices=["escat", "prism"])
+    p.add_argument("version", choices=["A", "B", "C"])
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_rates)
+
+    p = sub.add_parser("trace", help="dump an application trace as SDDF")
+    p.add_argument("app", choices=["escat", "prism"])
+    p.add_argument("version", choices=["A", "B", "C"])
+    p.add_argument("output")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

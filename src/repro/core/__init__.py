@@ -1,0 +1,91 @@
+"""Characterization analyses — the paper's contribution.
+
+Given Pablo traces, these modules compute exactly what the paper's
+tables and figures show:
+
+- :mod:`~repro.core.cdf` — request-size CDFs, count- and byte-weighted
+  (Figures 2 and 7).
+- :mod:`~repro.core.breakdown` — aggregate I/O time by operation type
+  (Tables 2 and 5) and I/O as a fraction of execution time (Table 3).
+- :mod:`~repro.core.temporal` — operation size/duration vs. execution
+  time series (Figures 3, 4, 5, 8, 9).
+- :mod:`~repro.core.phases` — phase-level I/O classification
+  (compulsory / data staging / checkpoint).
+- :mod:`~repro.core.classify` — request-size classes, burstiness and
+  concurrency metrics.
+- :mod:`~repro.core.evolution` — cross-version comparisons.
+- :mod:`~repro.core.principles` — file-system design-principle
+  evaluation (aggregation potential, prefetch potential, ...).
+- :mod:`~repro.core.report` — text renderers matching the paper's
+  table layouts.
+"""
+
+from repro.core.cdf import SizeCDF, request_size_cdf
+from repro.core.breakdown import (
+    OperationBreakdown,
+    io_time_breakdown,
+    execution_fraction,
+)
+from repro.core.temporal import TimeSeries, operation_timeline
+from repro.core.phases import PhaseProfile, classify_phases, phase_profile
+from repro.core.classify import (
+    ConcurrencyStats,
+    RequestClassStats,
+    burstiness,
+    concurrency_stats,
+    request_classes,
+)
+from repro.core.bandwidth import (
+    RateCell,
+    phase_bandwidth,
+    render_rates,
+    transfer_rates,
+)
+from repro.core.congestion import PFSCongestionMonitor, QueueStats
+from repro.core.crossapp import (
+    AccessPatternProfile,
+    Section6Report,
+    profile_trace,
+    section6_report,
+)
+from repro.core.evolution import VersionComparison, compare_versions
+from repro.core.plots import ascii_bars, ascii_cdf, ascii_scatter
+from repro.core.principles import DesignPrincipleReport, evaluate_principles
+from repro.core.report import render_breakdown_table, render_comparison
+
+__all__ = [
+    "SizeCDF",
+    "request_size_cdf",
+    "OperationBreakdown",
+    "io_time_breakdown",
+    "execution_fraction",
+    "TimeSeries",
+    "operation_timeline",
+    "PhaseProfile",
+    "classify_phases",
+    "phase_profile",
+    "RequestClassStats",
+    "ConcurrencyStats",
+    "request_classes",
+    "burstiness",
+    "concurrency_stats",
+    "VersionComparison",
+    "compare_versions",
+    "AccessPatternProfile",
+    "Section6Report",
+    "profile_trace",
+    "section6_report",
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_scatter",
+    "RateCell",
+    "transfer_rates",
+    "phase_bandwidth",
+    "render_rates",
+    "PFSCongestionMonitor",
+    "QueueStats",
+    "DesignPrincipleReport",
+    "evaluate_principles",
+    "render_breakdown_table",
+    "render_comparison",
+]

@@ -1,0 +1,117 @@
+"""Achieved-transfer-rate analysis.
+
+Section 6: "PFS achieves high transfer rates for large request sizes
+that are multiples of the file stripe size.  However, the performance
+for small requests is quite low."  These helpers quantify that from a
+trace: achieved bytes/second per access mode and request-size class,
+and per application phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AnalysisError
+from repro.pablo.records import IOOp
+from repro.pablo.tracer import Trace
+from repro.units import KB, MB
+
+
+@dataclass
+class RateCell:
+    """Achieved rate for one (mode, size-class, op) combination."""
+
+    mode: str
+    size_class: str
+    op: IOOp
+    requests: int
+    bytes: int
+    op_time: float
+
+    @property
+    def rate(self) -> float:
+        """Bytes per second of operation time (queueing included —
+        the rate the *application* experienced)."""
+        return self.bytes / self.op_time if self.op_time > 0 else 0.0
+
+
+#: Size classes used throughout the paper's discussion.
+SIZE_CLASSES: Tuple[Tuple[str, int], ...] = (
+    ("small (<2K)", 2 * KB),
+    ("medium (2K-64K)", 64 * KB),
+    ("large (>=64K)", 1 << 62),
+)
+
+
+def _size_class(nbytes: int) -> str:
+    for name, bound in SIZE_CLASSES:
+        if nbytes < bound:
+            return name
+    return SIZE_CLASSES[-1][0]  # pragma: no cover
+
+
+def transfer_rates(trace: Trace) -> List[RateCell]:
+    """Achieved rates per (mode, size class, operation)."""
+    cells: Dict[Tuple[str, str, IOOp], RateCell] = {}
+    for e in trace.events:
+        if e.op not in (IOOp.READ, IOOp.WRITE) or e.nbytes <= 0:
+            continue
+        key = (e.mode or "?", _size_class(e.nbytes), e.op)
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = RateCell(
+                mode=key[0], size_class=key[1], op=e.op,
+                requests=0, bytes=0, op_time=0.0,
+            )
+        cell.requests += 1
+        cell.bytes += e.nbytes
+        cell.op_time += e.duration
+    return sorted(
+        cells.values(), key=lambda c: (c.mode, c.size_class, c.op.value)
+    )
+
+
+def phase_bandwidth(trace: Trace) -> Dict[str, Dict[str, float]]:
+    """Per-phase aggregate read/write bandwidth over the phase span.
+
+    Bandwidth here is bytes moved divided by the phase's wall span —
+    the delivered rate, not the per-operation rate.
+    """
+    spans: Dict[str, List[float]] = {}
+    volumes: Dict[str, Dict[str, int]] = {}
+    for e in trace.events:
+        phase = e.phase or "(unlabeled)"
+        lo_hi = spans.setdefault(phase, [float("inf"), 0.0])
+        lo_hi[0] = min(lo_hi[0], e.start)
+        lo_hi[1] = max(lo_hi[1], e.end)
+        vol = volumes.setdefault(phase, {"read": 0, "write": 0})
+        if e.op == IOOp.READ:
+            vol["read"] += e.nbytes
+        elif e.op == IOOp.WRITE:
+            vol["write"] += e.nbytes
+    out: Dict[str, Dict[str, float]] = {}
+    for phase, (lo, hi) in spans.items():
+        width = max(hi - lo, 1e-12)
+        out[phase] = {
+            "read_bw": volumes[phase]["read"] / width,
+            "write_bw": volumes[phase]["write"] / width,
+            "span": hi - lo,
+        }
+    return out
+
+
+def render_rates(cells: List[RateCell]) -> str:
+    """Text table of achieved rates."""
+    if not cells:
+        raise AnalysisError("no data operations to rate")
+    lines = [
+        f"{'mode':10s}{'size class':>18s}{'op':>7s}{'requests':>10s}"
+        f"{'MB/s':>10s}"
+    ]
+    for c in cells:
+        lines.append(
+            f"{c.mode:10s}{c.size_class:>18s}{c.op.value:>7s}"
+            f"{c.requests:>10d}{c.rate / MB:>10.2f}"
+        )
+    return "\n".join(lines)

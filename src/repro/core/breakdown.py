@@ -1,0 +1,90 @@
+"""Aggregate I/O time breakdowns by operation type.
+
+Tables 2 and 5 report, per code version, the percentage of total I/O
+time attributable to each operation type; Table 3 reports I/O time as
+a percentage of total execution time (node-seconds).  "Total I/O time"
+is the sum of client-observed operation durations across all nodes —
+queueing included — which is what Pablo measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AnalysisError
+from repro.pablo.records import IOOp, TABLE_OP_ORDER
+from repro.pablo.tracer import Trace
+
+
+@dataclass
+class OperationBreakdown:
+    """Per-operation aggregate times and their shares of the total."""
+
+    totals: Dict[IOOp, float] = field(default_factory=dict)
+    counts: Dict[IOOp, int] = field(default_factory=dict)
+
+    @property
+    def total_io_time(self) -> float:
+        return sum(self.totals.values())
+
+    def fraction(self, op: IOOp) -> float:
+        """Share of total I/O time spent in ``op`` (0..1)."""
+        total = self.total_io_time
+        return self.totals.get(op, 0.0) / total if total > 0 else 0.0
+
+    def percent(self, op: IOOp) -> float:
+        """The table-style percentage for ``op``."""
+        return 100.0 * self.fraction(op)
+
+    def dominant_op(self) -> IOOp:
+        """The operation with the largest aggregate time."""
+        if not self.totals:
+            raise AnalysisError("empty breakdown")
+        return max(self.totals, key=lambda op: self.totals[op])
+
+    def as_percent_dict(self) -> Dict[str, float]:
+        """All table rows, in the paper's row order."""
+        return {op.value: self.percent(op) for op in TABLE_OP_ORDER}
+
+
+def io_time_breakdown(trace: Trace) -> OperationBreakdown:
+    """Build the Table-2/5-style breakdown for ``trace``."""
+    breakdown = OperationBreakdown()
+    for e in trace.events:
+        breakdown.totals[e.op] = breakdown.totals.get(e.op, 0.0) + e.duration
+        breakdown.counts[e.op] = breakdown.counts.get(e.op, 0) + 1
+    return breakdown
+
+
+def execution_fraction(
+    trace: Trace,
+    wall_time: float,
+    n_nodes: Optional[int] = None,
+) -> Dict[str, float]:
+    """Table-3-style rows: I/O time as % of total execution node-time.
+
+    Parameters
+    ----------
+    trace:
+        The application's I/O trace.
+    wall_time:
+        Wall-clock execution time of the run.
+    n_nodes:
+        Nodes in the run (defaults to the trace metadata).
+
+    Returns a dict of ``op -> percent`` plus an ``"All I/O"`` row.
+    """
+    if wall_time <= 0:
+        raise AnalysisError(f"wall time must be positive, got {wall_time}")
+    nodes = n_nodes if n_nodes is not None else trace.meta.nodes
+    if nodes < 1:
+        raise AnalysisError("need the node count (trace meta or argument)")
+    denominator = wall_time * nodes
+    breakdown = io_time_breakdown(trace)
+    rows = {
+        op.value: 100.0 * breakdown.totals.get(op, 0.0) / denominator
+        for op in TABLE_OP_ORDER
+    }
+    rows["All I/O"] = 100.0 * breakdown.total_io_time / denominator
+    return rows

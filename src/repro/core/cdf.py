@@ -1,0 +1,95 @@
+"""Request-size cumulative distribution functions.
+
+Figures 2 and 7 of the paper plot, for reads and writes separately,
+two CDFs against request size: the fraction of *requests* at or below
+each size, and the fraction of *data* transferred by requests at or
+below each size.  The gap between the two curves is the paper's
+signature observation: most requests are small while most bytes move
+in a few large requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.pablo.records import IOOp
+from repro.pablo.tracer import Trace
+
+
+@dataclass
+class SizeCDF:
+    """An empirical request-size distribution.
+
+    ``sizes`` are the distinct request sizes in ascending order;
+    ``count_cdf[i]`` is the fraction of requests with size <=
+    ``sizes[i]``; ``data_cdf[i]`` the fraction of bytes moved by them.
+    """
+
+    sizes: np.ndarray
+    count_cdf: np.ndarray
+    data_cdf: np.ndarray
+    n_requests: int
+    total_bytes: int
+
+    def fraction_of_requests_at_or_below(self, size: int) -> float:
+        """Fraction of requests with size <= ``size``."""
+        idx = np.searchsorted(self.sizes, size, side="right") - 1
+        return float(self.count_cdf[idx]) if idx >= 0 else 0.0
+
+    def fraction_of_data_at_or_below(self, size: int) -> float:
+        """Fraction of transferred bytes moved by requests <= ``size``."""
+        idx = np.searchsorted(self.sizes, size, side="right") - 1
+        return float(self.data_cdf[idx]) if idx >= 0 else 0.0
+
+    def percentile_size(self, fraction: float) -> int:
+        """Smallest size s.t. at least ``fraction`` of requests are <= it."""
+        if not 0.0 <= fraction <= 1.0:
+            raise AnalysisError(f"fraction must be in [0,1], got {fraction}")
+        idx = int(np.searchsorted(self.count_cdf, fraction, side="left"))
+        idx = min(idx, len(self.sizes) - 1)
+        return int(self.sizes[idx])
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sizes, count_cdf, data_cdf) for plotting."""
+        return self.sizes, self.count_cdf, self.data_cdf
+
+
+def cdf_from_sizes(sizes: Sequence[int]) -> SizeCDF:
+    """Build a :class:`SizeCDF` from raw request sizes."""
+    arr = np.asarray(sizes, dtype=np.int64)
+    if arr.size == 0:
+        raise AnalysisError("cannot build a CDF from zero requests")
+    if (arr < 0).any():
+        raise AnalysisError("negative request sizes")
+    order = np.sort(arr)
+    distinct, counts = np.unique(order, return_counts=True)
+    count_cdf = np.cumsum(counts) / arr.size
+    byte_totals = distinct.astype(np.float64) * counts
+    total = byte_totals.sum()
+    data_cdf = (
+        np.cumsum(byte_totals) / total if total > 0 else np.ones_like(count_cdf)
+    )
+    return SizeCDF(
+        sizes=distinct,
+        count_cdf=count_cdf,
+        data_cdf=data_cdf,
+        n_requests=int(arr.size),
+        total_bytes=int(arr.sum()),
+    )
+
+
+def request_size_cdf(trace: Trace, op: IOOp) -> SizeCDF:
+    """The size CDF of all ``op`` requests in ``trace``.
+
+    >>> # request_size_cdf(trace, IOOp.READ) -> Figure 2(a)-style data
+    """
+    if op not in (IOOp.READ, IOOp.WRITE):
+        raise AnalysisError(f"size CDFs are defined for reads/writes, not {op}")
+    sizes = [e.nbytes for e in trace.events if e.op == op]
+    if not sizes:
+        raise AnalysisError(f"trace has no {op} events")
+    return cdf_from_sizes(sizes)

@@ -1,0 +1,86 @@
+"""Queue-congestion analysis: observing the serialization directly.
+
+The paper *infers* serialization from operation durations ("all reads
+during phase one are serialized").  With the simulator we can watch
+the queues themselves: the per-file atomicity token, the metadata
+node, and each I/O node's disk channel.  These helpers attach
+:class:`~repro.sim.monitor.QueueLog` monitors to a PFS and summarize
+what they saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import AnalysisError
+from repro.pfs.client import PFS
+from repro.sim.monitor import QueueLog, watch
+
+
+@dataclass
+class QueueStats:
+    """Summary of one monitored queue."""
+
+    name: str
+    samples: int
+    peak_queue: int
+    mean_queue: float
+    busy_fraction: float
+
+    def line(self) -> str:
+        return (
+            f"{self.name:28s} peak={self.peak_queue:5d}  "
+            f"mean={self.mean_queue:8.2f}  "
+            f"busy={self.busy_fraction:6.1%}"
+        )
+
+
+class PFSCongestionMonitor:
+    """Attaches queue monitors across one PFS instance.
+
+    Watch points:
+
+    - ``metadata`` — the single metadata service node (open storms);
+    - ``disk[i]`` — each I/O node's disk channel;
+    - per-file atomicity tokens, via :meth:`watch_token` (files are
+      created lazily, so tokens are watched on demand).
+    """
+
+    def __init__(self, pfs: PFS) -> None:
+        self.pfs = pfs
+        self.logs: Dict[str, QueueLog] = {}
+        self.logs["metadata"] = watch(pfs.metadata)
+        for server in pfs.servers:
+            self.logs[f"disk[{server.ionode.index}]"] = watch(
+                server.ionode._channel
+            )
+
+    def watch_token(self, path: str) -> QueueLog:
+        """Watch the atomicity token of ``path`` (must exist)."""
+        state = self.pfs.namespace.lookup(path)
+        log = watch(state.token)
+        self.logs[f"token:{path}"] = log
+        return log
+
+    def stats(self) -> List[QueueStats]:
+        """Summaries for every watched queue, busiest first."""
+        out = []
+        for name, log in self.logs.items():
+            out.append(QueueStats(
+                name=name,
+                samples=len(log),
+                peak_queue=log.peak_queue,
+                mean_queue=log.time_weighted_mean_queue(),
+                busy_fraction=log.busy_fraction(),
+            ))
+        out.sort(key=lambda s: -s.peak_queue)
+        return out
+
+    def render(self, top: int = 0) -> str:
+        stats = self.stats()
+        if top:
+            stats = stats[:top]
+        if not stats:
+            raise AnalysisError("no queues watched")
+        return "\n".join(s.line() for s in stats)

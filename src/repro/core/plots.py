@@ -1,0 +1,190 @@
+"""Terminal rendering of the paper's figure types.
+
+The paper's figures are scatter plots (request size or duration vs.
+execution time, log-y) and CDF step plots (log-x).  These renderers
+draw them as text so ``repro run figureN --plot`` shows the actual
+curve shapes, not just summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade tick values covering [lo, hi]."""
+    lo = max(lo, 1e-12)
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(max(hi, lo * 10)))
+    return [10.0 ** e for e in range(first, last + 1)]
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "time (s)",
+    ylabel: str = "",
+    marker: str = "*",
+) -> str:
+    """Scatter plot in the style of Figures 3/4/5/8/9.
+
+    >>> print(ascii_scatter([0, 1], [1, 100], width=20, height=4,
+    ...                     title="demo"))  # doctest: +SKIP
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size:
+        raise AnalysisError("x and y must have equal length")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if x.size == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    if logy:
+        positive = y > 0
+        y_plot = np.where(positive, y, np.nan)
+        ymin = float(np.nanmin(y_plot)) if positive.any() else 1.0
+        ymax = float(np.nanmax(y_plot)) if positive.any() else 10.0
+        lo, hi = math.log10(max(ymin, 1e-12)), math.log10(max(ymax, 1e-12))
+    else:
+        ymin, ymax = float(y.min()), float(y.max())
+        lo, hi = ymin, ymax
+    if hi <= lo:
+        hi = lo + 1.0
+    xmin, xmax = float(x.min()), float(x.max())
+    if xmax <= xmin:
+        xmax = xmin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        if logy:
+            if yi <= 0:
+                continue
+            frac_y = (math.log10(yi) - lo) / (hi - lo)
+        else:
+            frac_y = (yi - lo) / (hi - lo)
+        col = int((xi - xmin) / (xmax - xmin) * (width - 1))
+        row = height - 1 - int(frac_y * (height - 1))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = marker
+
+    def ylab(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        value = 10 ** (lo + frac * (hi - lo)) if logy else lo + frac * (hi - lo)
+        if value >= 1e6:
+            return f"{value:.0e}"
+        if value >= 1:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+
+    label_width = max(len(ylab(r)) for r in (0, height - 1)) + 1
+    for row in range(height):
+        label = ylab(row) if row in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>{label_width}} |" + "".join(grid[row]))
+    lines.append(" " * label_width + "-" * (width + 2))
+    left = f"{xmin:.0f}"
+    right = f"{xmax:.0f}"
+    pad = width - len(left) - len(right)
+    lines.append(
+        " " * (label_width + 2) + left + " " * max(pad, 1) + right
+    )
+    caption = xlabel if not ylabel else f"{xlabel}   (y: {ylabel})"
+    lines.append(" " * (label_width + 2) + caption)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    curves: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "request size (bytes)",
+) -> str:
+    """Log-x CDF step plot in the style of Figures 2/7.
+
+    ``curves`` is a list of ``(label, sizes, fractions)``; each curve
+    gets its own marker and is listed in the legend.
+    """
+    markers = "*o+x#@"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    all_sizes = np.concatenate([
+        np.asarray(sizes, dtype=float) for _, sizes, _ in curves if len(sizes)
+    ]) if curves else np.array([1.0])
+    all_sizes = all_sizes[all_sizes > 0]
+    if all_sizes.size == 0:
+        all_sizes = np.array([1.0])
+    lo = math.log10(float(all_sizes.min()))
+    hi = math.log10(float(all_sizes.max()))
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_idx, (_label, sizes, fractions) in enumerate(curves):
+        marker = markers[curve_idx % len(markers)]
+        sizes = np.asarray(sizes, dtype=float)
+        fractions = np.asarray(fractions, dtype=float)
+        for col in range(width):
+            logsize = lo + (col / max(width - 1, 1)) * (hi - lo)
+            size = 10 ** logsize
+            idx = np.searchsorted(sizes, size, side="right") - 1
+            frac = float(fractions[idx]) if idx >= 0 else 0.0
+            row = height - 1 - int(frac * (height - 1))
+            row = min(max(row, 0), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    for row in range(height):
+        frac = (height - 1 - row) / (height - 1)
+        label = f"{frac:4.1f}" if row in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>5} |" + "".join(grid[row]))
+    lines.append("      " + "-" * width)
+    ticks = _log_ticks(10 ** lo, 10 ** hi)
+    tick_line = [" "] * width
+    for t in ticks:
+        col = int((math.log10(t) - lo) / (hi - lo) * (width - 1))
+        text = f"1e{int(math.log10(t))}"
+        for i, ch in enumerate(text):
+            if 0 <= col + i < width:
+                tick_line[col + i] = ch
+    lines.append("      " + "".join(tick_line))
+    lines.append("      " + xlabel)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}"
+        for i, (label, _, _) in enumerate(curves)
+    )
+    lines.append("      legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars (the Figure 1/6 execution-time comparisons)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(k) for k, _ in items)
+    for name, value in items:
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"{name:>{label_width}} |{bar} {value:.0f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Temporal I/O behaviour: operation attributes vs. execution time.
+
+Figures 3, 4, 8 and 9 plot request *size* against execution time;
+Figure 5 plots seek *duration* against execution time.  Both are
+scatter series extracted here as parallel arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.pablo.records import IOOp
+from repro.pablo.tracer import Trace
+
+
+@dataclass
+class TimeSeries:
+    """A scatter series of one operation attribute over time."""
+
+    op: IOOp
+    attribute: str  # "nbytes" | "duration"
+    times: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def span(self) -> float:
+        """Time between the first and last point."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def active_intervals(self, gap: float) -> List[Tuple[float, float]]:
+        """Contiguous activity intervals separated by gaps > ``gap``.
+
+        The checkpoint bursts of Figure 9 fall straight out of this.
+        """
+        if gap <= 0:
+            raise AnalysisError(f"gap must be positive, got {gap}")
+        if len(self.times) == 0:
+            return []
+        intervals = []
+        start = prev = float(self.times[0])
+        for t in self.times[1:]:
+            t = float(t)
+            if t - prev > gap:
+                intervals.append((start, prev))
+                start = t
+            prev = t
+        intervals.append((start, prev))
+        return intervals
+
+    def within(self, t0: float, t1: float) -> "TimeSeries":
+        """Points with ``t0 <= time < t1``."""
+        mask = (self.times >= t0) & (self.times < t1)
+        return TimeSeries(
+            self.op, self.attribute, self.times[mask], self.values[mask]
+        )
+
+
+def operation_timeline(
+    trace: Trace, op: IOOp, attribute: str = "nbytes"
+) -> TimeSeries:
+    """Extract the Figure-3/4/5/8/9-style series for ``op``.
+
+    ``attribute`` selects the y-axis: request size (``"nbytes"``) or
+    operation duration (``"duration"``, Figure 5's seek plot).
+    """
+    if attribute not in ("nbytes", "duration"):
+        raise AnalysisError(f"unknown attribute {attribute!r}")
+    events = [e for e in trace.events if e.op == op]
+    times = np.array([e.start for e in events], dtype=float)
+    values = np.array([getattr(e, attribute) for e in events], dtype=float)
+    return TimeSeries(op=op, attribute=attribute, times=times, values=values)

@@ -1,0 +1,69 @@
+"""Exception hierarchy shared across the :mod:`repro` packages.
+
+Keeping all error types in one module lets callers catch a single base
+class (:class:`ReproError`) at API boundaries while the individual
+subsystems raise precise subtypes internally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly or reached an
+    inconsistent state (e.g. triggering an already-triggered event)."""
+
+
+class EmptySchedule(SimulationError):
+    """``Engine.step`` was called with no scheduled events remaining."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by ``Engine.run(until=...)``.
+
+    Not a :class:`ReproError`: it never escapes ``run``.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class MachineError(ReproError):
+    """Invalid machine topology/configuration or routing request."""
+
+
+class PFSError(ReproError):
+    """Base class for parallel-file-system errors."""
+
+
+class FileNotOpenError(PFSError):
+    """Operation attempted on a closed or never-opened file handle."""
+
+
+class FileExistsError_(PFSError):
+    """Exclusive create requested for a path that already exists."""
+
+
+class FileNotFoundError_(PFSError):
+    """Open of a path that does not exist (without create)."""
+
+
+class AccessModeError(PFSError):
+    """Operation violates the semantics of the file's access mode, e.g.
+    variable-size requests under ``M_RECORD``."""
+
+
+class TraceError(ReproError):
+    """Malformed Pablo trace data or inconsistent trace operations."""
+
+
+class WorkloadError(ReproError):
+    """Invalid synthetic workload specification."""
+
+
+class AnalysisError(ReproError):
+    """Characterization analysis was given unusable input."""

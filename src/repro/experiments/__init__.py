@@ -1,0 +1,40 @@
+"""The experiment harness: one entry per paper table and figure.
+
+- :mod:`~repro.experiments.runner` — cached application runs.
+- :mod:`~repro.experiments.reference` — the paper's reported numbers.
+- :mod:`~repro.experiments.escat_tables` / ``prism_tables`` — Tables
+  1-5.
+- :mod:`~repro.experiments.figures` — Figures 1-9 as data series.
+- :mod:`~repro.experiments.registry` — index of all of the above.
+"""
+
+from repro.experiments import reference
+from repro.experiments.runner import (
+    carbon_monoxide_result,
+    clear_cache,
+    escat_progression_results,
+    escat_result,
+    prism_result,
+)
+from repro.experiments.validate import Scorecard, validate_all
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "reference",
+    "escat_result",
+    "prism_result",
+    "carbon_monoxide_result",
+    "escat_progression_results",
+    "clear_cache",
+    "EXPERIMENTS",
+    "Experiment",
+    "list_experiments",
+    "run_experiment",
+    "Scorecard",
+    "validate_all",
+]

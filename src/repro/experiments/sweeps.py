@@ -1,0 +1,65 @@
+"""Machine-configuration sweeps (the paper's stated future work).
+
+"We plan to examine the effects of different machine configurations
+(e.g., number of I/O nodes) and different architectures on I/O
+performance."  This experiment answers that question for the captured
+ESCAT-C behaviour by *replaying* its trace against machines with
+different I/O-node counts and stripe sizes — the same applications,
+the same operations, different file systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.experiments.runner import escat_result
+from repro.machine import MachineConfig
+from repro.replay import replay_trace
+from repro.units import KB
+
+
+def machine_sweep(fast: bool = False) -> Tuple[Dict, str]:
+    """Replay the ESCAT-C trace across machine configurations.
+
+    Returns the raw numbers and a rendered table.  ``fast`` replays a
+    miniature capture (seconds); the default replays the paper-scale
+    trace.
+    """
+    base = escat_result("C", fast=True if fast else False)
+    trace = base.trace
+    n_nodes = base.n_nodes
+    base_config = MachineConfig.caltech()
+    if n_nodes <= 16:
+        base_config = MachineConfig(
+            mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+        )
+
+    results: Dict[str, float] = {
+        "capture": trace.total_io_time,
+    }
+    io_counts = (1, 4, 16) if n_nodes <= 16 else (4, 16, 32)
+    for n_io in io_counts:
+        cfg = replace(base_config, n_io_nodes=n_io)
+        results[f"{n_io} I/O nodes"] = replay_trace(
+            trace, machine_config=cfg, think_time_scale=0.0
+        ).replayed_io_time
+    for stripe in (16 * KB, 64 * KB, 256 * KB):
+        cfg = replace(base_config, stripe_size=stripe)
+        results[f"{stripe // KB}K stripe"] = replay_trace(
+            trace, machine_config=cfg, think_time_scale=0.0
+        ).replayed_io_time
+
+    lines = [
+        "Machine-configuration sweep (trace replay of ESCAT version C)",
+        f"{'configuration':>18s} {'I/O node-seconds':>18s} {'vs capture':>12s}",
+    ]
+    capture = results["capture"]
+    for name, io_time in results.items():
+        ratio = io_time / capture if capture > 0 else float("inf")
+        lines.append(f"{name:>18s} {io_time:>18.2f} {ratio:>11.2f}x")
+    lines.append(
+        "(replays compress think time, so I/O times are not comparable "
+        "to the capture's wall clock, only to each other)"
+    )
+    return results, "\n".join(lines)

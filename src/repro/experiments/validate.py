@@ -1,0 +1,197 @@
+"""Reproduction validation: structured paper-vs-measured scoring.
+
+For every claim class we check the *shape*, not the absolute value:
+dominant operations, orderings, and ratios within tolerance bands.
+``validate_all()`` produces a scorecard the CLI prints and the test
+suite asserts on; EXPERIMENTS.md is the prose version of the same
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.breakdown import io_time_breakdown
+from repro.core.cdf import request_size_cdf
+from repro.core.temporal import operation_timeline
+from repro.experiments.runner import (
+    carbon_monoxide_result,
+    escat_progression_results,
+    escat_result,
+    prism_result,
+)
+from repro.pablo import IOOp
+from repro.units import KB
+
+
+@dataclass
+class Check:
+    """One validated claim."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        out = f"[{mark}] {self.claim}"
+        if self.detail:
+            out += f" — {self.detail}"
+        return out
+
+
+@dataclass
+class Scorecard:
+    """All validated claims for one reproduction run."""
+
+    checks: List[Check] = field(default_factory=list)
+
+    def add(self, claim: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(claim, bool(passed), detail))
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.checks if c.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def render(self) -> str:
+        lines = [c.line() for c in self.checks]
+        lines.append(f"-- {self.passed}/{self.total} claims reproduced")
+        return "\n".join(lines)
+
+
+def validate_all(fast: bool = False) -> Scorecard:
+    """Run every application version and score the paper's claims."""
+    card = Scorecard()
+    escat = {v: escat_result(v, fast=fast) for v in ("A", "B", "C")}
+    prism = {v: prism_result(v, fast=fast) for v in ("A", "B", "C")}
+    eb = {v: io_time_breakdown(r.trace) for v, r in escat.items()}
+    pb = {v: io_time_breakdown(r.trace) for v, r in prism.items()}
+
+    # -- Table 2 shapes -------------------------------------------------
+    card.add(
+        "ESCAT A: open+read dominate total I/O time",
+        eb["A"].fraction(IOOp.OPEN) + eb["A"].fraction(IOOp.READ) > 0.8,
+        f"{eb['A'].percent(IOOp.OPEN):.1f}% + {eb['A'].percent(IOOp.READ):.1f}%",
+    )
+    card.add(
+        "ESCAT B: seek is the dominant operation",
+        eb["B"].dominant_op() == IOOp.SEEK,
+        f"seek {eb['B'].percent(IOOp.SEEK):.1f}% (paper 63.2)",
+    )
+    card.add(
+        "ESCAT C: write dominates; seeks eliminated",
+        eb["C"].dominant_op() == IOOp.WRITE
+        and eb["C"].fraction(IOOp.SEEK) < 0.02,
+        f"write {eb['C'].percent(IOOp.WRITE):.1f}%, "
+        f"seek {eb['C'].percent(IOOp.SEEK):.2f}%",
+    )
+    card.add(
+        "ESCAT: total I/O time collapses B -> C (paper ~6x)",
+        eb["B"].total_io_time > 3 * eb["C"].total_io_time,
+        f"{eb['B'].total_io_time / eb['C'].total_io_time:.1f}x",
+    )
+
+    # -- Table 3 ------------------------------------------------------------
+    fracs = {v: r.io_fraction for v, r in escat.items()}
+    card.add(
+        "ESCAT ethylene: I/O share ordering B > A > C",
+        fracs["B"] > fracs["A"] > fracs["C"],
+        ", ".join(f"{v}={100 * f:.2f}%" for v, f in fracs.items()),
+    )
+    co = carbon_monoxide_result(fast=fast)
+    card.add(
+        "Carbon monoxide: an order of magnitude more I/O-bound "
+        "(paper 19.4%)",
+        co.io_fraction > 4 * fracs["C"],
+        f"{100 * co.io_fraction:.1f}% of execution",
+    )
+
+    # -- Figure 1 / 6 ------------------------------------------------------
+    prog = escat_progression_results(fast=fast)
+    reduction = 1 - prog["C"].wall_time / prog["A"].wall_time
+    card.add(
+        "ESCAT execution time falls ~20% across six progressions",
+        0.08 < reduction < 0.40,
+        f"{reduction:.1%}",
+    )
+    p_red = 1 - prism["C"].wall_time / prism["A"].wall_time
+    card.add(
+        "PRISM execution time falls ~23% across versions",
+        0.10 < p_red < 0.40,
+        f"{p_red:.1%}",
+    )
+
+    # -- Figure 2 ------------------------------------------------------------
+    a_cdf = request_size_cdf(escat["A"].trace, IOOp.READ)
+    c_cdf = request_size_cdf(escat["C"].trace, IOOp.READ)
+    card.add(
+        "ESCAT A: the vast majority of reads are small",
+        a_cdf.fraction_of_requests_at_or_below(2 * KB - 1) > 0.85,
+        f"{a_cdf.fraction_of_requests_at_or_below(2 * KB - 1):.0%} < 2KB",
+    )
+    card.add(
+        "ESCAT C: 128KB reads carry nearly all read data",
+        1 - c_cdf.fraction_of_data_at_or_below(128 * KB - 1) > 0.85,
+        f"{1 - c_cdf.fraction_of_data_at_or_below(128 * KB - 1):.0%}",
+    )
+
+    # -- Figure 5 ------------------------------------------------------------
+    b_seeks = operation_timeline(escat["B"].trace, IOOp.SEEK, "duration")
+    c_seeks = operation_timeline(escat["C"].trace, IOOp.SEEK, "duration")
+    card.add(
+        "ESCAT seek durations drop by orders of magnitude B -> C",
+        len(c_seeks) > 0 and b_seeks.values.mean()
+        > 100 * c_seeks.values.mean(),
+        f"mean {b_seeks.values.mean() * 1e3:.1f}ms -> "
+        f"{c_seeks.values.mean() * 1e3:.3f}ms",
+    )
+
+    # -- Table 5 / Figure 8 ------------------------------------------------
+    card.add(
+        "PRISM A: open dominates total I/O time (paper 75.4%)",
+        pb["A"].dominant_op() == IOOp.OPEN,
+        f"open {pb['A'].percent(IOOp.OPEN):.1f}%",
+    )
+    card.add(
+        "PRISM B: iomode becomes a major cost (paper 17.8%)",
+        pb["B"].fraction(IOOp.IOMODE) > 0.05,
+        f"iomode {pb['B'].percent(IOOp.IOMODE):.1f}%",
+    )
+    card.add(
+        "PRISM C: read dominates after buffering disabled (paper 83.9%)",
+        pb["C"].dominant_op() == IOOp.READ,
+        f"read {pb['C'].percent(IOOp.READ):.1f}%",
+    )
+    spans = {
+        v: operation_timeline(
+            prism[v].trace.by_phase("phase-1-init"), IOOp.READ
+        ).span
+        for v in ("A", "B", "C")
+    }
+    card.add(
+        "PRISM read-phase span order B < C < A (Figure 8)",
+        spans["B"] < spans["C"] < spans["A"],
+        ", ".join(f"{v}={s:.0f}s" for v, s in spans.items()),
+    )
+
+    # -- Figure 9 ------------------------------------------------------------
+    chk = prism["C"].trace.select(
+        lambda e: e.op == IOOp.WRITE and "chk" in e.path
+    )
+    ts = operation_timeline(chk, IOOp.WRITE)
+    bursts = ts.active_intervals(gap=prism["C"].wall_time * 0.05)
+    card.add(
+        "PRISM write timeline shows distinct checkpoint bursts",
+        len(bursts) >= 4,
+        f"{len(bursts)} bursts",
+    )
+    return card

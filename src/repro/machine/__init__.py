@@ -1,0 +1,39 @@
+"""Intel Paragon XP/S machine model.
+
+The paper's experiments ran on the Caltech 512-node Paragon XP/S,
+organized as a 16x32 mesh with sixteen I/O nodes, each hosting a 4.8 GB
+RAID-3 disk array.  This package models that machine:
+
+- :mod:`~repro.machine.config` — all tunable constants in one
+  dataclass (:class:`MachineConfig`), with the Caltech configuration as
+  the default.
+- :mod:`~repro.machine.topology` — the 2-D mesh and node placement.
+- :mod:`~repro.machine.network` — message and collective cost model
+  (broadcast, gather, barrier) over the mesh.
+- :mod:`~repro.machine.disk` — RAID-3 disk array service-time model.
+- :mod:`~repro.machine.ionode` — an I/O node: a FIFO request queue in
+  front of its disk array.
+- :mod:`~repro.machine.node` — a compute node.
+- :mod:`~repro.machine.paragon` — assembles the full machine.
+"""
+
+from repro.machine.config import DiskConfig, MachineConfig, NetworkConfig
+from repro.machine.topology import Mesh2D
+from repro.machine.network import Network
+from repro.machine.disk import RAID3Array
+from repro.machine.ionode import IONode, IORequest
+from repro.machine.node import ComputeNode
+from repro.machine.paragon import ParagonXPS
+
+__all__ = [
+    "DiskConfig",
+    "MachineConfig",
+    "NetworkConfig",
+    "Mesh2D",
+    "Network",
+    "RAID3Array",
+    "IONode",
+    "IORequest",
+    "ComputeNode",
+    "ParagonXPS",
+]

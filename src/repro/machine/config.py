@@ -1,0 +1,134 @@
+"""Machine configuration: every tunable constant of the Paragon model.
+
+The defaults describe the Caltech 512-node Intel Paragon XP/S as the
+paper reports it (16x32 mesh, 16 I/O nodes, 4.8 GB RAID-3 arrays,
+64 KB PFS striping).  Service-time constants are *calibrated*, not
+measured: they are chosen so the characterization results match the
+paper's shapes (see DESIGN.md section 5 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import MachineError
+from repro.units import KB, MB, GB, MSEC, USEC
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Mesh interconnect cost constants.
+
+    The Paragon's wormhole-routed mesh had ~40 us software latency and
+    ~175 MB/s links; hop time is nearly negligible but kept for
+    fidelity.
+    """
+
+    #: Fixed per-message software overhead (seconds).
+    latency: float = 40 * USEC
+    #: Additional delay per mesh hop (seconds).
+    per_hop: float = 0.1 * USEC
+    #: Point-to-point bandwidth (bytes/second).
+    bandwidth: float = 175 * MB
+    #: Per-stage overhead of a software barrier (seconds).
+    barrier_stage: float = 60 * USEC
+
+    def validate(self) -> None:
+        if self.latency < 0 or self.per_hop < 0 or self.barrier_stage < 0:
+            raise MachineError("network latencies must be non-negative")
+        if self.bandwidth <= 0:
+            raise MachineError("network bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """RAID-3 disk array service model.
+
+    Early-90s RAID-3 arrays on the Paragon delivered a few MB/s per
+    array with millisecond positioning.  ``positioning`` is charged for
+    non-sequential requests only; sequential follow-on requests pay
+    ``sequential_overhead``.
+    """
+
+    #: Array capacity in bytes (4.8 GB per the paper).
+    capacity: int = int(4.8 * GB)
+    #: Average positioning (seek + rotation) time, seconds.
+    positioning: float = 14 * MSEC
+    #: Overhead for a sequential follow-on request, seconds.
+    sequential_overhead: float = 1.2 * MSEC
+    #: Streaming transfer rate, bytes/second.
+    transfer_rate: float = 3.2 * MB
+    #: Fixed per-request controller/daemon overhead, seconds.
+    request_overhead: float = 0.7 * MSEC
+    #: RAID-3 small-write penalty: a non-sequential write smaller than
+    #: a full stripe unit forces a parity read-modify-write, costing
+    #: this many extra positioning times.  This asymmetry — scattered
+    #: small writes are disproportionately slow while sequential or
+    #: stripe-sized writes stream — is the disk-level reason the paper
+    #: tells applications to match request sizes to the stripe size.
+    write_rmw_penalty: float = 6.0
+
+    def validate(self) -> None:
+        if self.write_rmw_penalty < 0:
+            raise MachineError("write RMW penalty must be non-negative")
+        if self.capacity <= 0:
+            raise MachineError("disk capacity must be positive")
+        if min(self.positioning, self.sequential_overhead,
+               self.request_overhead) < 0:
+            raise MachineError("disk overheads must be non-negative")
+        if self.transfer_rate <= 0:
+            raise MachineError("disk transfer rate must be positive")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of a Paragon XP/S instance."""
+
+    #: Mesh dimensions; the Caltech machine was 16 columns x 32 rows.
+    mesh_cols: int = 16
+    mesh_rows: int = 32
+    #: Number of compute nodes exposed to applications.
+    n_compute_nodes: int = 512
+    #: Number of I/O nodes (each with one RAID-3 array).
+    n_io_nodes: int = 16
+    #: PFS stripe unit (64 KB default per the paper).
+    stripe_size: int = 64 * KB
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+
+    def validate(self) -> None:
+        if self.mesh_cols < 1 or self.mesh_rows < 1:
+            raise MachineError("mesh dimensions must be >= 1")
+        if self.n_compute_nodes < 1:
+            raise MachineError("need at least one compute node")
+        if self.n_compute_nodes > self.mesh_cols * self.mesh_rows:
+            raise MachineError(
+                f"{self.n_compute_nodes} compute nodes do not fit a "
+                f"{self.mesh_cols}x{self.mesh_rows} mesh"
+            )
+        if self.n_io_nodes < 1:
+            raise MachineError("need at least one I/O node")
+        if self.stripe_size < 1:
+            raise MachineError("stripe size must be positive")
+        self.network.validate()
+        self.disk.validate()
+
+    @classmethod
+    def caltech(cls) -> "MachineConfig":
+        """The Caltech CACR 512-node configuration used in the paper."""
+        return cls()
+
+    def scaled(self, *, n_io_nodes: int = None, stripe_size: int = None) -> "MachineConfig":  # type: ignore[assignment]
+        """Copy with a different I/O-node count or stripe size.
+
+        Used by the machine-configuration sweeps the paper lists as
+        future work.
+        """
+        kwargs = {}
+        if n_io_nodes is not None:
+            kwargs["n_io_nodes"] = n_io_nodes
+        if stripe_size is not None:
+            kwargs["stripe_size"] = stripe_size
+        cfg = replace(self, **kwargs)
+        cfg.validate()
+        return cfg

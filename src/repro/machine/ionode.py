@@ -1,0 +1,120 @@
+"""I/O nodes: a FIFO request queue in front of a RAID-3 array.
+
+Each PFS stripe server lives on one I/O node.  Requests from many
+compute nodes queue here; the queueing delay compute nodes experience
+is the "contention" the paper measures when many clients hit the same
+stripe group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.machine.config import DiskConfig
+from repro.machine.disk import RAID3Array
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+@dataclass
+class IORequest:
+    """One disk request as seen by an I/O node (bookkeeping record)."""
+
+    node: int
+    kind: str  # "read" | "write"
+    offset: int
+    nbytes: int
+    issued_at: float
+    started_at: float = field(default=0.0)
+    completed_at: float = field(default=0.0)
+
+    @property
+    def queue_delay(self) -> float:
+        return self.started_at - self.issued_at
+
+    @property
+    def service_delay(self) -> float:
+        return self.completed_at - self.started_at
+
+
+class IONode:
+    """One of the Paragon's sixteen I/O nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation engine.
+    index:
+        I/O-node index within the machine (0-based).
+    mesh_position:
+        Node id of this I/O node in the mesh (for routing costs).
+    disk_config:
+        Service model for the attached RAID-3 array.
+    """
+
+    def __init__(
+        self,
+        env: "Engine",
+        index: int,
+        mesh_position: int,
+        disk_config: DiskConfig,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.mesh_position = mesh_position
+        self.disk = RAID3Array(disk_config, name=f"ionode{index}")
+        self._channel = Resource(env, capacity=1)
+        #: Completed request log length (kept as counters, not a list,
+        #: to bound memory on long runs).
+        self.completed = 0
+        self.total_queue_delay = 0.0
+        self.total_service = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting (excludes the one in service)."""
+        return len(self._channel.queue)
+
+    def submit(
+        self, node: int, kind: str, offset: int, nbytes: int,
+        rmw: bool = False,
+    ) -> Generator:
+        """Process step: queue for the disk, service, return the request.
+
+        The yielded duration (queue wait + service) is exactly what a
+        synchronous client observes for the disk portion of its call.
+        ``rmw`` marks sub-stripe writes that pay the RAID-3
+        read-modify-write penalty when non-sequential.
+        """
+        req = IORequest(
+            node=node, kind=kind, offset=offset, nbytes=nbytes,
+            issued_at=self.env.now,
+        )
+        grant = self._channel.request()
+        yield grant
+        req.started_at = self.env.now
+        service = self.disk.service_time(offset, nbytes, rmw=rmw)
+        yield self.env.timeout(service)
+        req.completed_at = self.env.now
+        self._channel.release(grant)
+        self.completed += 1
+        self.total_queue_delay += req.queue_delay
+        self.total_service += req.service_delay
+        return req
+
+    def service_estimate(self, offset: int, nbytes: int) -> float:
+        """Estimated service time without queueing (for planners)."""
+        return self.disk.peek_service_time(offset, nbytes)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_delay / self.completed if self.completed else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<IONode {self.index} completed={self.completed} "
+            f"queued={self.queue_length}>"
+        )

@@ -1,0 +1,130 @@
+"""Interconnect cost model: point-to-point messages and collectives.
+
+The model is analytic (no per-link contention): a message of ``n``
+bytes from ``src`` to ``dst`` costs::
+
+    latency + hops(src, dst) * per_hop + n / bandwidth
+
+Collectives are composed from point-to-point costs: broadcast and
+gather use the binomial-tree / funnel structures the Paragon's NX
+library used.  Each method has a ``*_time`` form returning a duration
+(for analytic composition) and a generator form usable directly as a
+process step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator, Sequence
+
+from repro.errors import MachineError
+from repro.machine.config import NetworkConfig
+from repro.machine.topology import Mesh2D
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+class Network:
+    """Cost model of the Paragon mesh interconnect."""
+
+    def __init__(self, env: "Engine", mesh: Mesh2D, config: NetworkConfig) -> None:
+        config.validate()
+        self.env = env
+        self.mesh = mesh
+        self.config = config
+        #: Total bytes accepted for transfer (bookkeeping for reports).
+        self.bytes_moved = 0
+        #: Total messages sent.
+        self.messages = 0
+
+    # -- point to point --------------------------------------------------
+    def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Duration of one ``nbytes`` message from ``src`` to ``dst``."""
+        if nbytes < 0:
+            raise MachineError(f"negative message size {nbytes}")
+        if src == dst:
+            return 0.0
+        cfg = self.config
+        return (
+            cfg.latency
+            + self.mesh.hops(src, dst) * cfg.per_hop
+            + nbytes / cfg.bandwidth
+        )
+
+    def send(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process step: transmit a message and wait for completion."""
+        self.messages += 1
+        self.bytes_moved += nbytes
+        delay = self.transfer_time(src, dst, nbytes)
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    # -- collectives -------------------------------------------------------
+    def broadcast_time(self, root: int, nbytes: int, nodes: Sequence[int]) -> float:
+        """Binomial-tree broadcast of ``nbytes`` to ``nodes``.
+
+        ``ceil(log2(n))`` stages, each costing one average transfer.
+        """
+        n = len(nodes)
+        if n <= 1:
+            return 0.0
+        stages = math.ceil(math.log2(n))
+        avg = self._avg_transfer(root, nodes, nbytes)
+        return stages * avg
+
+    def broadcast(self, root: int, nbytes: int, nodes: Sequence[int]) -> Generator:
+        """Process step: broadcast; caller is any participating node."""
+        self.messages += max(0, len(nodes) - 1)
+        self.bytes_moved += nbytes * max(0, len(nodes) - 1)
+        delay = self.broadcast_time(root, nbytes, nodes)
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    def gather_time(
+        self, root: int, nbytes_per_node: int, nodes: Sequence[int]
+    ) -> float:
+        """All nodes funnel ``nbytes_per_node`` to ``root``.
+
+        The root's link is the bottleneck: cost is one latency per
+        sender plus the serialized payload through the root.
+        """
+        senders = [n for n in nodes if n != root]
+        if not senders:
+            return 0.0
+        cfg = self.config
+        payload = len(senders) * nbytes_per_node / cfg.bandwidth
+        overhead = sum(
+            cfg.latency + self.mesh.hops(s, root) * cfg.per_hop for s in senders
+        )
+        return payload + overhead
+
+    def gather(
+        self, root: int, nbytes_per_node: int, nodes: Sequence[int]
+    ) -> Generator:
+        """Process step: gather onto ``root``."""
+        senders = max(0, len(nodes) - 1)
+        self.messages += senders
+        self.bytes_moved += senders * nbytes_per_node
+        delay = self.gather_time(root, nbytes_per_node, nodes)
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    def barrier_time(self, n: int) -> float:
+        """Software barrier over ``n`` nodes: 2*ceil(log2 n) stages."""
+        if n <= 1:
+            return 0.0
+        return 2 * math.ceil(math.log2(n)) * self.config.barrier_stage
+
+    # -- helpers -----------------------------------------------------------
+    def _avg_transfer(self, root: int, nodes: Sequence[int], nbytes: int) -> float:
+        hops = [self.mesh.hops(root, n) for n in nodes if n != root]
+        mean_hops = sum(hops) / len(hops) if hops else 0.0
+        cfg = self.config
+        return cfg.latency + mean_hops * cfg.per_hop + nbytes / cfg.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network msgs={self.messages} "
+            f"bytes={self.bytes_moved}>"
+        )

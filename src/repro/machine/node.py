@@ -1,0 +1,80 @@
+"""Compute nodes.
+
+A :class:`ComputeNode` is mostly an identity (rank + mesh position)
+plus a ``compute`` helper that models CPU work, with optional
+deterministic jitter so synchronized nodes drift realistically (the
+drift is what spreads out I/O arrivals between synchronization
+points).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.errors import MachineError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+class ComputeNode:
+    """One application-visible Paragon compute node.
+
+    Parameters
+    ----------
+    env:
+        Simulation engine.
+    rank:
+        Application rank (0-based; rank 0 is the paper's "node zero").
+    mesh_position:
+        Physical node id in the mesh.
+    rng:
+        Optional generator for compute-time jitter.
+    """
+
+    def __init__(
+        self,
+        env: "Engine",
+        rank: int,
+        mesh_position: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rank < 0:
+            raise MachineError(f"negative rank {rank}")
+        self.env = env
+        self.rank = rank
+        self.mesh_position = mesh_position
+        self.rng = rng
+        #: Accumulated modeled compute time (for utilization reports).
+        self.compute_time = 0.0
+
+    def compute(self, seconds: float, jitter: float = 0.0) -> Generator:
+        """Process step: model ``seconds`` of CPU work.
+
+        ``jitter`` is the relative standard deviation of a lognormal
+        perturbation (0 disables it; requires an ``rng``).
+        """
+        if seconds < 0:
+            raise MachineError(f"negative compute time {seconds}")
+        duration = seconds
+        if jitter > 0.0:
+            if self.rng is None:
+                raise MachineError("jitter requested but node has no rng")
+            # Lognormal with mean 1 and relative sd ~= jitter.
+            sigma = float(np.sqrt(np.log1p(jitter * jitter)))
+            duration = seconds * float(
+                self.rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma)
+            )
+        self.compute_time += duration
+        if duration > 0:
+            yield self.env.timeout(duration)
+
+    @property
+    def is_node_zero(self) -> bool:
+        """The coordinator role the paper calls "node zero"."""
+        return self.rank == 0
+
+    def __repr__(self) -> str:
+        return f"<ComputeNode rank={self.rank} mesh={self.mesh_position}>"

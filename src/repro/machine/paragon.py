@@ -1,0 +1,87 @@
+"""Assembly of the full Paragon XP/S machine model."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import MachineError
+from repro.machine.config import MachineConfig
+from repro.machine.ionode import IONode
+from repro.machine.network import Network
+from repro.machine.node import ComputeNode
+from repro.machine.topology import Mesh2D
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+class ParagonXPS:
+    """The simulated machine: mesh + compute nodes + I/O nodes + network.
+
+    Example
+    -------
+    >>> from repro.sim import Engine
+    >>> from repro.machine import MachineConfig, ParagonXPS
+    >>> eng = Engine()
+    >>> machine = ParagonXPS(eng, MachineConfig.caltech())
+    >>> len(machine.io_nodes)
+    16
+    >>> machine.compute_nodes[0].is_node_zero
+    True
+    """
+
+    def __init__(
+        self,
+        env: "Engine",
+        config: Optional[MachineConfig] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.config = config or MachineConfig.caltech()
+        self.config.validate()
+        self.env = env
+        self.streams = streams or RandomStreams(seed=0)
+
+        self.mesh = Mesh2D(self.config.mesh_cols, self.config.mesh_rows)
+        self.network = Network(env, self.mesh, self.config.network)
+
+        io_positions = self.mesh.spread_positions(self.config.n_io_nodes)
+        self.io_nodes: List[IONode] = [
+            IONode(env, i, pos, self.config.disk)
+            for i, pos in enumerate(io_positions)
+        ]
+
+        self.compute_nodes: List[ComputeNode] = [
+            ComputeNode(
+                env,
+                rank=r,
+                mesh_position=r % self.mesh.size,
+                rng=self.streams.get(f"compute.{r}"),
+            )
+            for r in range(self.config.n_compute_nodes)
+        ]
+
+    def partition(self, n: int) -> List[ComputeNode]:
+        """The first ``n`` compute nodes (an application's allocation)."""
+        if not 1 <= n <= len(self.compute_nodes):
+            raise MachineError(
+                f"cannot allocate {n} of {len(self.compute_nodes)} nodes"
+            )
+        return self.compute_nodes[:n]
+
+    def io_node(self, index: int) -> IONode:
+        """The I/O node with the given index."""
+        if not 0 <= index < len(self.io_nodes):
+            raise MachineError(f"no I/O node {index}")
+        return self.io_nodes[index]
+
+    @property
+    def total_disk_busy(self) -> float:
+        """Sum of disk busy time across all I/O nodes."""
+        return sum(io.disk.busy_time for io in self.io_nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParagonXPS {self.config.n_compute_nodes} nodes, "
+            f"{self.config.n_io_nodes} I/O nodes>"
+        )

@@ -1,0 +1,92 @@
+"""2-D mesh topology and node placement.
+
+Nodes are numbered row-major.  Compute nodes occupy the first
+``n_compute`` slots; I/O nodes are spread evenly across the mesh (on
+the real Paragon they sat on one edge; uniform spreading gives the
+same average distance characteristics, which is all the cost model
+uses).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import MachineError
+
+
+class Mesh2D:
+    """A ``cols x rows`` mesh with deterministic dimension-order routing.
+
+    >>> mesh = Mesh2D(cols=16, rows=32)
+    >>> mesh.coordinates(0)
+    (0, 0)
+    >>> mesh.coordinates(17)
+    (1, 1)
+    >>> mesh.hops(0, 17)
+    2
+    """
+
+    def __init__(self, cols: int, rows: int) -> None:
+        if cols < 1 or rows < 1:
+            raise MachineError(f"invalid mesh {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+
+    @property
+    def size(self) -> int:
+        """Total mesh slots."""
+        return self.cols * self.rows
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(x, y) position of ``node`` (row-major numbering)."""
+        if not 0 <= node < self.size:
+            raise MachineError(f"node {node} outside mesh of {self.size}")
+        return (node % self.cols, node // self.cols)
+
+    def node_at(self, x: int, y: int) -> int:
+        """Inverse of :meth:`coordinates`."""
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise MachineError(f"({x},{y}) outside {self.cols}x{self.rows} mesh")
+        return y * self.cols + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance (dimension-order routing hop count)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The node sequence of the X-then-Y dimension-order route."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    def mean_distance(self) -> float:
+        """Average hop count between two uniformly random nodes.
+
+        Closed form for a ``c x r`` mesh: (c^2-1)/(3c) + (r^2-1)/(3r).
+        """
+        c, r = self.cols, self.rows
+        return (c * c - 1) / (3.0 * c) + (r * r - 1) / (3.0 * r)
+
+    def spread_positions(self, count: int) -> List[int]:
+        """``count`` node ids spread evenly over the mesh (I/O nodes)."""
+        if not 1 <= count <= self.size:
+            raise MachineError(
+                f"cannot place {count} nodes in a mesh of {self.size}"
+            )
+        stride = self.size / count
+        return [min(self.size - 1, int(i * stride + stride / 2)) for i in range(count)]
+
+    def __repr__(self) -> str:
+        return f"<Mesh2D {self.cols}x{self.rows}>"

@@ -1,0 +1,193 @@
+"""Darshan-style aggregate I/O counters.
+
+Modern HPC I/O characterization (Darshan) replaced full event traces
+with compact per-file counter records: operation counts, byte totals,
+access-size histograms, alignment counters, timing totals.  This
+module derives exactly that representation from a Pablo trace — the
+bridge from the paper's 1996 methodology to today's tooling, and a
+compact summary useful in its own right for large traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.pablo.records import IOOp
+from repro.pablo.tracer import Trace
+from repro.units import KB, MB
+
+#: Access-size histogram bucket upper bounds (Darshan's classic edges).
+SIZE_BUCKETS: Tuple[Tuple[str, int], ...] = (
+    ("0-100", 100),
+    ("100-1K", 1 * KB),
+    ("1K-10K", 10 * KB),
+    ("10K-100K", 100 * KB),
+    ("100K-1M", 1 * MB),
+    ("1M-4M", 4 * MB),
+    ("4M+", 1 << 62),
+)
+
+
+def _bucket(nbytes: int) -> str:
+    for name, bound in SIZE_BUCKETS:
+        if nbytes <= bound:
+            return name
+    return SIZE_BUCKETS[-1][0]  # pragma: no cover - unreachable
+
+
+@dataclass
+class FileCounters:
+    """Darshan-like counter record for one file."""
+
+    path: str
+    #: Operation counts (COUNT_* style).
+    reads: int = 0
+    writes: int = 0
+    opens: int = 0
+    seeks: int = 0
+    #: Byte totals.
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Cumulative operation time (F_READ_TIME / F_WRITE_TIME / F_META_TIME).
+    read_time: float = 0.0
+    write_time: float = 0.0
+    meta_time: float = 0.0
+    #: Access-size histograms (read/write).
+    read_size_histogram: Dict[str, int] = field(default_factory=dict)
+    write_size_histogram: Dict[str, int] = field(default_factory=dict)
+    #: The four most common access sizes (ACCESS1..4 + counts).
+    common_access_sizes: List[Tuple[int, int]] = field(default_factory=list)
+    #: Sequential/consecutive access counters (per Darshan definitions:
+    #: consecutive = exactly at previous end; sequential = at or past it).
+    consec_reads: int = 0
+    consec_writes: int = 0
+    seq_reads: int = 0
+    seq_writes: int = 0
+    #: Alignment: accesses not aligned to the stripe/block size.
+    unaligned_accesses: int = 0
+    #: Distinct ranks that touched the file, and the busiest rank share.
+    ranks: set = field(default_factory=set)
+    #: Timestamps (F_OPEN_START_TIMESTAMP-style).
+    first_open: float = float("inf")
+    last_close: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def shared(self) -> bool:
+        return len(self.ranks) > 1
+
+
+def derive_counters(
+    trace: Trace, alignment: int = 64 * KB
+) -> Dict[str, FileCounters]:
+    """Reduce a trace to per-file Darshan-style counter records."""
+    if alignment < 1:
+        raise AnalysisError(f"alignment must be >= 1, got {alignment}")
+    out: Dict[str, FileCounters] = {}
+    size_counts: Dict[str, Dict[int, int]] = {}
+    last_end: Dict[Tuple[int, str], int] = {}
+
+    for e in trace.events:
+        if not e.path:
+            continue
+        fc = out.get(e.path)
+        if fc is None:
+            fc = out[e.path] = FileCounters(e.path)
+            size_counts[e.path] = {}
+        fc.ranks.add(e.node)
+        if e.op in (IOOp.OPEN, IOOp.GOPEN):
+            fc.opens += 1
+            fc.meta_time += e.duration
+            fc.first_open = min(fc.first_open, e.start)
+        elif e.op in (IOOp.CLOSE, IOOp.IOMODE, IOOp.FLUSH):
+            fc.meta_time += e.duration
+            if e.op == IOOp.CLOSE:
+                fc.last_close = max(fc.last_close, e.end)
+        elif e.op == IOOp.SEEK:
+            fc.seeks += 1
+            fc.meta_time += e.duration
+        elif e.op in (IOOp.READ, IOOp.WRITE):
+            bucket = _bucket(e.nbytes)
+            sizes = size_counts[e.path]
+            sizes[e.nbytes] = sizes.get(e.nbytes, 0) + 1
+            if e.offset >= 0 and e.offset % alignment != 0:
+                fc.unaligned_accesses += 1
+            key = (e.node, e.path)
+            prev = last_end.get(key)
+            if e.op == IOOp.READ:
+                fc.reads += 1
+                fc.bytes_read += e.nbytes
+                fc.read_time += e.duration
+                fc.read_size_histogram[bucket] = (
+                    fc.read_size_histogram.get(bucket, 0) + 1
+                )
+                if prev is not None and e.offset >= 0:
+                    if e.offset == prev:
+                        fc.consec_reads += 1
+                    if e.offset >= prev:
+                        fc.seq_reads += 1
+            else:
+                fc.writes += 1
+                fc.bytes_written += e.nbytes
+                fc.write_time += e.duration
+                fc.write_size_histogram[bucket] = (
+                    fc.write_size_histogram.get(bucket, 0) + 1
+                )
+                if prev is not None and e.offset >= 0:
+                    if e.offset == prev:
+                        fc.consec_writes += 1
+                    if e.offset >= prev:
+                        fc.seq_writes += 1
+            if e.offset >= 0:
+                last_end[key] = e.offset + e.nbytes
+
+    for path, fc in out.items():
+        top = sorted(
+            size_counts[path].items(), key=lambda kv: (-kv[1], kv[0])
+        )[:4]
+        fc.common_access_sizes = top
+    return out
+
+
+def render_counters(
+    counters: Dict[str, FileCounters], top: Optional[int] = None
+) -> str:
+    """Darshan-report-style text rendering, busiest files first."""
+    ordered = sorted(
+        counters.values(), key=lambda fc: -(fc.read_time + fc.write_time)
+    )
+    if top is not None:
+        ordered = ordered[:top]
+    lines: List[str] = []
+    for fc in ordered:
+        lines.append(f"file: {fc.path}")
+        lines.append(
+            f"  ops: {fc.opens} opens, {fc.reads} reads, "
+            f"{fc.writes} writes, {fc.seeks} seeks"
+            f"{'  [shared by ' + str(len(fc.ranks)) + ' ranks]' if fc.shared else ''}"
+        )
+        lines.append(
+            f"  bytes: {fc.bytes_read} read, {fc.bytes_written} written"
+        )
+        lines.append(
+            f"  time: read {fc.read_time:.3f}s, write {fc.write_time:.3f}s, "
+            f"meta {fc.meta_time:.3f}s"
+        )
+        if fc.common_access_sizes:
+            common = ", ".join(
+                f"{size}B x{count}" for size, count in fc.common_access_sizes
+            )
+            lines.append(f"  common access sizes: {common}")
+        total_rw = fc.reads + fc.writes
+        if total_rw:
+            lines.append(
+                f"  sequentiality: {fc.seq_reads + fc.seq_writes}/{total_rw} "
+                f"sequential, {fc.consec_reads + fc.consec_writes} consecutive, "
+                f"{fc.unaligned_accesses} unaligned"
+            )
+    return "\n".join(lines)

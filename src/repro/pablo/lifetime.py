@@ -1,0 +1,90 @@
+"""File lifetime summaries.
+
+Per the paper (section 3.1): "File lifetime summaries include the
+number and total duration of file reads, writes, seeks, opens, and
+closes, as well as the number of bytes accessed for each file, and the
+total time each file was open."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.pablo.records import IOEvent, IOOp
+from repro.pablo.tracer import Trace
+
+
+@dataclass
+class OpStats:
+    """Count and total duration of one operation type."""
+
+    count: int = 0
+    total_duration: float = 0.0
+
+    def add(self, event: IOEvent) -> None:
+        self.count += 1
+        self.total_duration += event.duration
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_duration / self.count if self.count else 0.0
+
+
+@dataclass
+class FileLifetimeSummary:
+    """Lifetime statistics for one file."""
+
+    path: str
+    ops: Dict[IOOp, OpStats] = field(default_factory=dict)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    first_open: float = float("inf")
+    last_close: float = 0.0
+    #: Total node-seconds the file was held open, summed over handles.
+    open_node_time: float = 0.0
+
+    def op(self, op: IOOp) -> OpStats:
+        stats = self.ops.get(op)
+        if stats is None:
+            stats = self.ops[op] = OpStats()
+        return stats
+
+    @property
+    def bytes_accessed(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def total_io_time(self) -> float:
+        return sum(s.total_duration for s in self.ops.values())
+
+
+def file_lifetime_summaries(trace: Trace) -> Dict[str, FileLifetimeSummary]:
+    """Build per-file lifetime summaries from a trace.
+
+    Open intervals are reconstructed per (node, path): each
+    open/gopen is matched with the next close from the same node.
+    """
+    summaries: Dict[str, FileLifetimeSummary] = {}
+    open_since: Dict[tuple, List[float]] = {}
+
+    for event in trace.events:
+        if not event.path:
+            continue
+        summary = summaries.get(event.path)
+        if summary is None:
+            summary = summaries[event.path] = FileLifetimeSummary(event.path)
+        summary.op(event.op).add(event)
+        if event.op == IOOp.READ:
+            summary.bytes_read += event.nbytes
+        elif event.op == IOOp.WRITE:
+            summary.bytes_written += event.nbytes
+        elif event.op in (IOOp.OPEN, IOOp.GOPEN):
+            summary.first_open = min(summary.first_open, event.start)
+            open_since.setdefault((event.node, event.path), []).append(event.end)
+        elif event.op == IOOp.CLOSE:
+            summary.last_close = max(summary.last_close, event.end)
+            stack = open_since.get((event.node, event.path))
+            if stack:
+                summary.open_node_time += event.end - stack.pop(0)
+    return summaries

@@ -1,0 +1,106 @@
+"""Pablo I/O event records.
+
+The Pablo instrumentation captures, for every I/O operation, "the time,
+duration, size, and other parameters".  :class:`IOEvent` is that
+record.  It is deliberately a plain, dependency-free data structure:
+the PFS emits these and every analysis consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class IOOp(str, Enum):
+    """The operation types the paper's tables break I/O time into."""
+
+    OPEN = "open"
+    GOPEN = "gopen"
+    READ = "read"
+    SEEK = "seek"
+    WRITE = "write"
+    IOMODE = "iomode"
+    FLUSH = "flush"
+    CLOSE = "close"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Order in which the paper's tables list operation rows.
+TABLE_OP_ORDER = [
+    IOOp.OPEN,
+    IOOp.GOPEN,
+    IOOp.READ,
+    IOOp.SEEK,
+    IOOp.WRITE,
+    IOOp.IOMODE,
+    IOOp.FLUSH,
+    IOOp.CLOSE,
+]
+
+
+@dataclass
+class IOEvent:
+    """One traced I/O operation.
+
+    Attributes
+    ----------
+    node:
+        Application rank that issued the operation.
+    op:
+        Operation type.
+    path:
+        File path (empty for operations without one).
+    start:
+        Simulated start time (seconds).
+    duration:
+        Client-observed duration, queueing included (seconds).
+    nbytes:
+        Bytes transferred (0 for non-data operations).
+    offset:
+        File offset of a data operation (-1 when not applicable).
+    mode:
+        PFS access mode in effect, as a string (e.g. ``"M_UNIX"``).
+    phase:
+        Application phase label (set by the workload model; lets the
+        analyses slice by the paper's phase structure).
+    """
+
+    node: int
+    op: IOOp
+    path: str
+    start: float
+    duration: float
+    nbytes: int = 0
+    offset: int = -1
+    mode: str = ""
+    phase: str = ""
+
+    @property
+    def end(self) -> float:
+        """Completion time."""
+        return self.start + self.duration
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for physically impossible records."""
+        if self.duration < 0:
+            raise ValueError(f"negative duration in {self!r}")
+        if self.nbytes < 0:
+            raise ValueError(f"negative size in {self!r}")
+        if self.node < 0:
+            raise ValueError(f"negative node in {self!r}")
+
+
+@dataclass
+class TraceMeta:
+    """Descriptive header attached to a captured trace."""
+
+    application: str = ""
+    version: str = ""
+    dataset: str = ""
+    nodes: int = 0
+    os_release: str = ""
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,149 @@
+"""A self-describing trace file format (SDDF-like).
+
+Pablo persisted performance data in SDDF, a self-describing data
+format whose files begin with record descriptors.  This module writes
+and reads a faithful-in-spirit, line-oriented version: a header block
+describing the record fields, metadata attributes, then one record per
+line.  Being self-describing, a reader needs no out-of-band schema and
+old traces survive field additions.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, TextIO, Union
+
+from repro.errors import TraceError
+from repro.pablo.records import IOEvent, IOOp, TraceMeta
+from repro.pablo.tracer import Trace
+
+_MAGIC = "#SDDF-IO 1"
+
+#: Field name -> (attribute, type tag, parser)
+_FIELDS = [
+    ("node", "int"),
+    ("op", "str"),
+    ("path", "str"),
+    ("start", "float"),
+    ("duration", "float"),
+    ("nbytes", "int"),
+    ("offset", "int"),
+    ("mode", "str"),
+    ("phase", "str"),
+]
+
+_PARSERS = {"int": int, "float": float, "str": lambda s: s}
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"t": "\t", "n": "\n", "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def write_sddf(trace: Trace, destination: Union[str, os.PathLike, TextIO]) -> None:
+    """Write ``trace`` to a path or text stream."""
+    own = isinstance(destination, (str, os.PathLike))
+    stream: TextIO = open(destination, "w") if own else destination  # type: ignore[arg-type]
+    try:
+        stream.write(_MAGIC + "\n")
+        meta = trace.meta
+        for key in ("application", "version", "dataset", "os_release"):
+            stream.write(f"#attr {key}\t{_escape(getattr(meta, key))}\n")
+        stream.write(f"#attr nodes\t{meta.nodes}\n")
+        for key, value in sorted(meta.extra.items()):
+            stream.write(f"#attr extra.{_escape(str(key))}\t{_escape(str(value))}\n")
+        descriptor = " ".join(f"{name}:{tag}" for name, tag in _FIELDS)
+        stream.write(f"#record IOEvent {descriptor}\n")
+        stream.write("#data\n")
+        for e in trace.events:
+            row = [
+                str(e.node), e.op.value, _escape(e.path),
+                repr(e.start), repr(e.duration), str(e.nbytes),
+                str(e.offset), _escape(e.mode), _escape(e.phase),
+            ]
+            stream.write("\t".join(row) + "\n")
+    finally:
+        if own:
+            stream.close()
+
+
+def read_sddf(source: Union[str, os.PathLike, TextIO]) -> Trace:
+    """Read a trace previously written by :func:`write_sddf`."""
+    own = isinstance(source, (str, os.PathLike))
+    stream: TextIO = open(source, "r") if own else source  # type: ignore[arg-type]
+    try:
+        first = stream.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise TraceError(f"not an SDDF-IO trace (magic {first!r})")
+        meta = TraceMeta()
+        fields: List[tuple] = []
+        in_data = False
+        events: List[IOEvent] = []
+        for raw in stream:
+            line = raw.rstrip("\n")
+            if not in_data:
+                if line.startswith("#attr "):
+                    body = line[len("#attr "):]
+                    key, _, value = body.partition("\t")
+                    if key == "nodes":
+                        meta.nodes = int(value)
+                    elif key.startswith("extra."):
+                        meta.extra[_unescape(key[6:])] = _unescape(value)
+                    elif hasattr(meta, key):
+                        setattr(meta, key, _unescape(value))
+                elif line.startswith("#record "):
+                    parts = line.split()
+                    for spec in parts[2:]:
+                        name, _, tag = spec.partition(":")
+                        if tag not in _PARSERS:
+                            raise TraceError(f"unknown field type {tag!r}")
+                        fields.append((name, _PARSERS[tag]))
+                elif line == "#data":
+                    if not fields:
+                        raise TraceError("SDDF data section before descriptor")
+                    in_data = True
+                elif line.startswith("#"):
+                    continue
+                else:
+                    raise TraceError(f"unexpected SDDF header line {line!r}")
+                continue
+            if not line:
+                continue
+            cols = line.split("\t")
+            if len(cols) != len(fields):
+                raise TraceError(
+                    f"record has {len(cols)} fields, descriptor has "
+                    f"{len(fields)}"
+                )
+            values = {}
+            for (name, parse), col in zip(fields, cols):
+                if parse is _PARSERS["str"]:
+                    values[name] = _unescape(col)
+                else:
+                    values[name] = parse(col)
+            values["op"] = IOOp(values["op"])
+            events.append(IOEvent(**values))
+        return Trace(events, meta)
+    finally:
+        if own:
+            stream.close()
+
+
+def roundtrip(trace: Trace) -> Trace:
+    """Serialize and re-read a trace in memory (testing helper)."""
+    buf = io.StringIO()
+    write_sddf(trace, buf)
+    buf.seek(0)
+    return read_sddf(buf)

@@ -1,0 +1,136 @@
+"""The Pablo data-capture library.
+
+A :class:`Tracer` collects :class:`~repro.pablo.records.IOEvent`
+records as the PFS client emits them.  A completed capture is a
+:class:`Trace`: an immutable event list with metadata and convenient
+NumPy views for the analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.pablo.records import IOEvent, IOOp, TraceMeta
+
+
+class Trace:
+    """A captured I/O trace: events plus descriptive metadata."""
+
+    def __init__(self, events: Iterable[IOEvent], meta: Optional[TraceMeta] = None) -> None:
+        self.events: List[IOEvent] = sorted(events, key=lambda e: (e.start, e.node))
+        self.meta = meta or TraceMeta()
+        for e in self.events:
+            e.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- vector views ------------------------------------------------------
+    def starts(self) -> np.ndarray:
+        return np.array([e.start for e in self.events], dtype=float)
+
+    def durations(self) -> np.ndarray:
+        return np.array([e.duration for e in self.events], dtype=float)
+
+    def sizes(self) -> np.ndarray:
+        return np.array([e.nbytes for e in self.events], dtype=np.int64)
+
+    def nodes(self) -> np.ndarray:
+        return np.array([e.node for e in self.events], dtype=np.int64)
+
+    # -- convenience -----------------------------------------------------
+    def select(self, predicate: Callable[[IOEvent], bool]) -> "Trace":
+        """A sub-trace of events satisfying ``predicate``."""
+        return Trace([e for e in self.events if predicate(e)], self.meta)
+
+    def by_op(self, op: IOOp) -> "Trace":
+        return self.select(lambda e: e.op == op)
+
+    def by_phase(self, phase: str) -> "Trace":
+        return self.select(lambda e: e.phase == phase)
+
+    def by_path(self, path: str) -> "Trace":
+        return self.select(lambda e: e.path == path)
+
+    def data_events(self) -> "Trace":
+        """Only reads and writes."""
+        return self.select(lambda e: e.op in (IOOp.READ, IOOp.WRITE))
+
+    @property
+    def total_io_time(self) -> float:
+        """Aggregate I/O time: the sum of all operation durations
+        across all nodes (the paper's "total I/O time")."""
+        return float(sum(e.duration for e in self.events))
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(e.nbytes for e in self.events))
+
+    @property
+    def span(self) -> float:
+        """Wall-clock span from first start to last completion."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - self.events[0].start
+
+    def paths(self) -> List[str]:
+        return sorted({e.path for e in self.events if e.path})
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace {len(self.events)} events "
+            f"app={self.meta.application!r} version={self.meta.version!r}>"
+        )
+
+
+class Tracer:
+    """The live data-capture sink attached to a PFS instance.
+
+    Supports optional *extensions* (callables invoked on every record
+    before it is stored) mirroring Pablo's "data analysis extensions"
+    that could process events prior to recording.
+    """
+
+    def __init__(self, meta: Optional[TraceMeta] = None) -> None:
+        self.meta = meta or TraceMeta()
+        self._events: List[IOEvent] = []
+        self._extensions: List[Callable[[IOEvent], None]] = []
+        self._enabled = True
+
+    def add_extension(self, fn: Callable[[IOEvent], None]) -> None:
+        """Register a per-event processing extension."""
+        if not callable(fn):
+            raise TraceError(f"extension must be callable, got {fn!r}")
+        self._extensions.append(fn)
+
+    def record(self, event: IOEvent) -> None:
+        """Capture one event (called by the PFS client)."""
+        if not self._enabled:
+            return
+        for fn in self._extensions:
+            fn(event)
+        self._events.append(event)
+
+    def pause(self) -> None:
+        """Stop capturing (instrumentation off)."""
+        self._enabled = False
+
+    def resume(self) -> None:
+        self._enabled = True
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def finish(self) -> Trace:
+        """Seal the capture into an analyzable :class:`Trace`."""
+        return Trace(self._events, self.meta)
+
+    def __repr__(self) -> str:
+        return f"<Tracer events={len(self._events)} enabled={self._enabled}>"

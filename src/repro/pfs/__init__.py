@@ -1,0 +1,44 @@
+"""Intel Parallel File System (PFS) simulator.
+
+Implements the PFS as the paper describes it (section 3.2): six file
+access modes with faithful coordination semantics, 64 KB round-robin
+striping over the I/O nodes, a single metadata service node, per-file
+atomicity tokens, stripe-server block caches with write-behind, and a
+client-side read-ahead buffer that can be disabled per handle.
+
+Entry point: :class:`~repro.pfs.client.PFS` (the file system) and
+:meth:`~repro.pfs.client.PFS.client` (the per-rank library).
+"""
+
+from repro.pfs.buffering import ReadBuffer
+from repro.pfs.cache import BlockCache
+from repro.pfs.client import PFS, PFSNodeClient
+from repro.pfs.collective import CollectiveRegistry
+from repro.pfs.costs import PFSCostModel
+from repro.pfs.directory import PFSNamespace
+from repro.pfs.file import Extent, ExtentMap, SharedFileState
+from repro.pfs.handle import FileHandle
+from repro.pfs.modes import AccessMode, ModeSemantics, parse_mode, semantics
+from repro.pfs.server import StripeServer
+from repro.pfs.striping import StripeLayout, StripePiece
+
+__all__ = [
+    "PFS",
+    "PFSNodeClient",
+    "PFSCostModel",
+    "PFSNamespace",
+    "AccessMode",
+    "ModeSemantics",
+    "parse_mode",
+    "semantics",
+    "StripeLayout",
+    "StripePiece",
+    "StripeServer",
+    "Extent",
+    "ExtentMap",
+    "SharedFileState",
+    "FileHandle",
+    "ReadBuffer",
+    "BlockCache",
+    "CollectiveRegistry",
+]

@@ -1,0 +1,104 @@
+"""Client-side read buffering (the PFS library's read-ahead buffer).
+
+Small sequential reads are the dominant request shape in both
+applications' "natural" I/O (section 6.1 of the paper).  The PFS
+client library absorbs them by fetching whole buffer-sized, stripe-
+aligned chunks and serving subsequent reads from memory.  Buffering
+can be disabled per file handle — which is what the PRISM developer
+did in version C, with the disproportionate header-read cost the
+paper describes.
+
+Coherence: a buffer is valid only for the file write-generation it was
+fetched at; any intervening write to the file invalidates it.  This is
+stricter than the real PFS (which offered no such guarantee) but keeps
+read-after-write integrity exact in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PFSError
+from repro.pfs.file import Extent, SharedFileState
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    fetched_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReadBuffer:
+    """Per-handle read-ahead buffer of one aligned chunk."""
+
+    def __init__(self, file_state: SharedFileState, size: int) -> None:
+        if size < 1:
+            raise PFSError(f"buffer size must be >= 1, got {size}")
+        self.file_state = file_state
+        self.size = size
+        self._start: Optional[int] = None
+        self._end: int = 0
+        self._extents: List[Extent] = []
+        self._generation: int = -1
+        self.stats = BufferStats()
+
+    def _valid(self) -> bool:
+        return (
+            self._start is not None
+            and self._generation == self.file_state._next_token
+        )
+
+    def covers(self, offset: int, nbytes: int) -> bool:
+        """Can ``[offset, offset+nbytes)`` be served from the buffer?"""
+        if not self._valid():
+            return False
+        return self._start <= offset and offset + nbytes <= self._end
+
+    def serve(self, offset: int, nbytes: int) -> List[Extent]:
+        """Serve a covered read (call :meth:`covers` first)."""
+        if not self.covers(offset, nbytes):
+            raise PFSError("read not covered by buffer")
+        self.stats.hits += 1
+        out = []
+        for ext in self._extents:
+            s = max(ext.start, offset)
+            e = min(ext.end, offset + nbytes)
+            if s < e:
+                out.append(Extent(s, e, ext.token))
+        return out
+
+    def fetch_range(self, offset: int) -> tuple:
+        """The aligned chunk ``(start, nbytes)`` a miss at ``offset``
+        should fetch.  Aligned to the buffer size, clipped to EOF
+        (but always at least covering ``offset``)."""
+        start = (offset // self.size) * self.size
+        end = start + self.size
+        file_end = max(self.file_state.size, offset + 1)
+        end = min(end, max(file_end, start + 1))
+        return start, end - start
+
+    def install(self, start: int, nbytes: int, extents: List[Extent]) -> None:
+        """Record a completed fetch of ``[start, start+nbytes)``."""
+        self.stats.misses += 1
+        self.stats.fetched_bytes += nbytes
+        self._start = start
+        self._end = start + nbytes
+        self._extents = list(extents)
+        self._generation = self.file_state._next_token
+
+    def invalidate(self) -> None:
+        self._start = None
+        self._extents = []
+
+    def __repr__(self) -> str:
+        span = (
+            f"[{self._start},{self._end})" if self._valid() else "invalid"
+        )
+        return f"<ReadBuffer {span} hit_rate={self.stats.hit_rate:.2f}>"

@@ -1,0 +1,87 @@
+"""I/O-node block cache with write-behind support.
+
+Each stripe server keeps an LRU cache of stripe-sized blocks.  Reads
+that hit the cache cost ``cache_hit_service`` instead of a disk access;
+writes in non-atomic modes are acknowledged once they are in the cache
+(write-behind), with the disk drain proceeding in the background.
+Handles opened with buffering disabled bypass the cache entirely
+(the PRISM version-C scenario).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.errors import PFSError
+
+#: Cache key: (file id, stripe index on this I/O node's disk).
+BlockKey = Tuple[int, int]
+
+
+class BlockCache:
+    """LRU cache of resident blocks on one I/O node.
+
+    Tracks only block *presence* (the simulator moves tokens, not
+    bytes).  Dirty blocks are those accepted by write-behind and not
+    yet drained.
+    """
+
+    def __init__(self, capacity_blocks: int = 1024) -> None:
+        if capacity_blocks < 1:
+            raise PFSError(f"cache needs >= 1 block, got {capacity_blocks}")
+        self.capacity = capacity_blocks
+        self._blocks: "OrderedDict[BlockKey, bool]" = OrderedDict()  # key -> dirty
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for d in self._blocks.values() if d)
+
+    def lookup(self, key: BlockKey) -> bool:
+        """Is ``key`` resident?  Updates LRU order and hit counters."""
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: BlockKey, dirty: bool = False) -> None:
+        """Make ``key`` resident, evicting LRU clean state if needed.
+
+        Eviction is bookkeeping only: the caller is responsible for
+        having drained dirty data (the simulator's drain processes
+        mark blocks clean via :meth:`mark_clean`).
+        """
+        if key in self._blocks:
+            self._blocks[key] = self._blocks[key] or dirty
+            self._blocks.move_to_end(key)
+            return
+        while len(self._blocks) >= self.capacity:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+        self._blocks[key] = dirty
+
+    def mark_clean(self, key: BlockKey) -> None:
+        if key in self._blocks:
+            self._blocks[key] = False
+
+    def invalidate(self, key: BlockKey) -> None:
+        self._blocks.pop(key, None)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlockCache {len(self._blocks)}/{self.capacity} "
+            f"hit_rate={self.hit_rate:.2f}>"
+        )

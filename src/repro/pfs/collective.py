@@ -1,0 +1,111 @@
+"""Rendezvous machinery for collective PFS operations.
+
+``gopen``, ``setiomode`` and every ``M_GLOBAL`` data operation are
+*collective*: every member of the group must call before any may
+proceed.  The measured duration of an early arrival therefore includes
+the wait for stragglers — which is exactly how the paper's gopen and
+iomode times arise (Tables 2 and 5).
+
+The :class:`CollectiveRegistry` matches the i-th call with a given tag
+from each group member; the **last** arrival is designated the leader
+and executes the operation body, after which all members are released
+with the shared result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import PFSError
+from repro.sim.events import Event
+from repro.sim.sync import Gate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+@dataclass
+class CollectiveCall:
+    """One in-flight collective operation instance."""
+
+    tag: str
+    sequence: int
+    parties: int
+    gate: Gate
+    arrived: List[int] = field(default_factory=list)
+    #: Operation payload recorded by the first arrival; later arrivals
+    #: must match (e.g. M_GLOBAL requires identical requests).
+    payload: Optional[object] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.arrived) >= self.parties
+
+
+class CollectiveRegistry:
+    """Matches collective calls by (tag, per-member call count)."""
+
+    def __init__(self, env: "Engine") -> None:
+        self.env = env
+        #: (tag, rank) -> how many collectives this rank entered.
+        self._counts: Dict[Tuple[str, int], int] = {}
+        #: (tag, sequence) -> in-flight call.
+        self._calls: Dict[Tuple[str, int], CollectiveCall] = {}
+
+    def join(
+        self,
+        tag: str,
+        rank: int,
+        parties: int,
+        payload: Optional[object] = None,
+    ) -> Tuple[bool, CollectiveCall]:
+        """Enter the collective; returns ``(is_leader, call)``.
+
+        The leader (last arrival) must run the operation body and then
+        call :meth:`finish`.  Everyone else waits on ``call.gate``.
+        """
+        if parties < 1:
+            raise PFSError(f"collective needs >= 1 party, got {parties}")
+        seq = self._counts.get((tag, rank), 0)
+        self._counts[(tag, rank)] = seq + 1
+
+        key = (tag, seq)
+        call = self._calls.get(key)
+        if call is None:
+            call = CollectiveCall(
+                tag=tag, sequence=seq, parties=parties, gate=Gate(self.env)
+            )
+            call.payload = payload
+            self._calls[key] = call
+        else:
+            if call.parties != parties:
+                raise PFSError(
+                    f"collective {tag!r}#{seq}: inconsistent group sizes "
+                    f"({call.parties} vs {parties})"
+                )
+            if payload is not None and call.payload is not None \
+                    and payload != call.payload:
+                raise PFSError(
+                    f"collective {tag!r}#{seq}: mismatched requests "
+                    f"({payload!r} vs {call.payload!r})"
+                )
+
+        if rank in call.arrived:
+            raise PFSError(
+                f"rank {rank} entered collective {tag!r}#{seq} twice"
+            )
+        call.arrived.append(rank)
+
+        if call.complete:
+            del self._calls[key]
+            return True, call
+        return False, call
+
+    def finish(self, call: CollectiveCall, result: object = None) -> None:
+        """Leader: release every waiter with ``result``."""
+        call.gate.open(result)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._calls)

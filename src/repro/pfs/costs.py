@@ -1,0 +1,100 @@
+"""PFS cost model: every service-time constant in one place.
+
+These constants are **calibrated**, not measured: the Paragon no longer
+exists, so they are chosen to reproduce the paper's *shapes* — which
+operation dominates each application version, and by roughly what
+factor (DESIGN.md section 5).  Everything that queues (the metadata
+server, the per-file atomicity token, the I/O-node disks) is modeled
+structurally by the simulator; these constants are only the *service*
+portions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PFSError
+from repro.units import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class PFSCostModel:
+    """Service-time constants of the simulated PFS.
+
+    Attributes
+    ----------
+    open_service:
+        Metadata-server service time for one ``open`` call.  PFS opens
+        were notoriously expensive; with N nodes opening the same file
+        concurrently the calls serialize at the metadata server, which
+        is what makes ``open`` dominate Tables 2 and 5 for the
+        unoptimized code versions.
+    gopen_service:
+        Metadata service for one *global* open (a single metadata
+        operation for the whole group plus a broadcast of the file
+        state).  The group-synchronization wait is modeled
+        structurally, not in this constant.
+    close_service:
+        Metadata service for close.
+    flush_service:
+        Metadata service for flush (drain acknowledgement).
+    iomode_service:
+        Metadata service for a collective ``setiomode`` call.
+    seek_shared_service:
+        Token-manager round trip for a seek on an ``M_UNIX`` file that
+        is open on more than one node (pointer/size validation).  This
+        is the constant behind the version-B seek explosion in ESCAT.
+    seek_local_service:
+        A seek that only updates client-local state (sole opener, or
+        any non-serialized mode).
+    token_data_service:
+        Token-held validation overhead added to each serialized
+        ``M_UNIX`` data operation (on top of the data path itself).
+    client_overhead:
+        Client-library bookkeeping per call.
+    buffer_hit_service:
+        Cost of serving a read from the client-side buffer.
+    cache_hit_service:
+        Cost of an I/O-node cache hit (block already resident).
+    write_ack_service:
+        I/O-node service to accept a write into its write-behind cache
+        (used by non-atomic modes: the client is acknowledged before
+        the disk drain).
+    record_dispatch_service:
+        Per-request issue cost in node-ordered modes (turn management).
+    """
+
+    open_service: float = 420 * MSEC
+    gopen_service: float = 60 * MSEC
+    #: Per-group-member cost of a global open (distributing the file
+    #: state to the group is linear in its size).
+    gopen_per_node: float = 10 * MSEC
+    close_service: float = 5 * MSEC
+    flush_service: float = 9 * MSEC
+    iomode_service: float = 25 * MSEC
+    #: Per-group-member cost of a collective mode change (pointer and
+    #: coordination state must be reinstalled on every node).
+    iomode_per_node: float = 12 * MSEC
+    seek_shared_service: float = 22 * MSEC
+    seek_local_service: float = 30 * USEC
+    token_data_service: float = 0.8 * MSEC
+    client_overhead: float = 60 * USEC
+    buffer_hit_service: float = 120 * USEC
+    cache_hit_service: float = 1.1 * MSEC
+    write_ack_service: float = 34 * MSEC
+    #: Server cache memcpy rate for write-behind acknowledgements.
+    cache_copy_rate: float = 40 * 1024 * 1024
+    record_dispatch_service: float = 0.6 * MSEC
+
+    def validate(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise PFSError(f"cost {name} must be non-negative")
+
+    def replace(self, **kwargs: float) -> "PFSCostModel":
+        """Copy with some constants overridden (for ablations)."""
+        from dataclasses import replace as _replace
+
+        model = _replace(self, **kwargs)
+        model.validate()
+        return model

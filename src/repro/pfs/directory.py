@@ -1,0 +1,83 @@
+"""PFS namespace: path -> file state, plus disk-space placement.
+
+Each created file receives a distinct, widely spaced base address on
+every disk so that the disk model's sequential-access detection never
+conflates different files.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import FileNotFoundError_, PFSError
+from repro.pfs.file import SharedFileState
+from repro.pfs.striping import StripeLayout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+#: Per-file disk-address spacing (8 GiB of address space per file).
+#: Disk addresses are modeling tokens, not allocations, so generosity
+#: is free.
+_FILE_SPACING = 1 << 33
+
+
+class PFSNamespace:
+    """The file-name directory of one PFS instance."""
+
+    def __init__(self, env: "Engine", stripe_size: int, n_io_nodes: int) -> None:
+        if stripe_size < 1 or n_io_nodes < 1:
+            raise PFSError("invalid namespace geometry")
+        self.env = env
+        self.stripe_size = stripe_size
+        self.n_io_nodes = n_io_nodes
+        self._files: Dict[str, SharedFileState] = {}
+        self._next_file_id = 0
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def lookup(self, path: str) -> SharedFileState:
+        """The state of ``path``, or raise if absent."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError_(f"no such PFS file: {path!r}") from None
+
+    def lookup_or_create(self, path: str) -> SharedFileState:
+        """Open-with-create semantics (the PFS default the codes use)."""
+        state = self._files.get(path)
+        if state is None:
+            state = self._create(path)
+        return state
+
+    def _create(self, path: str) -> SharedFileState:
+        if not path:
+            raise PFSError("empty path")
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        layout = StripeLayout(
+            stripe_size=self.stripe_size,
+            n_io_nodes=self.n_io_nodes,
+            disk_base=file_id * _FILE_SPACING,
+        )
+        state = SharedFileState(self.env, path, layout, file_id)
+        self._files[path] = state
+        return state
+
+    def unlink(self, path: str) -> None:
+        """Remove a file (scratch-file cleanup)."""
+        state = self._files.pop(path, None)
+        if state is None:
+            raise FileNotFoundError_(f"no such PFS file: {path!r}")
+        if state.openers:
+            raise PFSError(f"cannot unlink {path!r}: still open")
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __repr__(self) -> str:
+        return f"<PFSNamespace files={len(self._files)}>"

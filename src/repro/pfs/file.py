@@ -1,0 +1,269 @@
+"""PFS files: extent maps, shared state, and coordination objects.
+
+A file's *contents* are tracked as an interval map from byte ranges to
+write tokens (opaque ids identifying the write that produced them).
+This gives read-after-write integrity checking without storing real
+bytes — essential when simulating the multi-hundred-megabyte staging
+files of ESCAT.
+
+A file's *shared state* carries everything the access modes coordinate
+through: the current mode, the set of openers, the atomicity token
+(M_UNIX), the shared file pointer (M_GLOBAL/M_SYNC/M_LOG), the turn
+taker for node-ordered modes, and the record size for M_RECORD.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import PFSError
+from repro.pfs.modes import AccessMode
+from repro.pfs.striping import StripeLayout
+from repro.sim.resources import PriorityResource
+from repro.sim.sync import TurnTaker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Engine
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous byte range written by one operation."""
+
+    start: int
+    end: int  # exclusive
+    token: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise PFSError(f"invalid extent [{self.start},{self.end})")
+
+
+class ExtentMap:
+    """Write-once-append, resolve-on-read interval map.
+
+    Writes are O(1) appends; the sorted, non-overlapping view is built
+    lazily on the first read after a write (an O(n log n) sweep where
+    later writes override earlier ones).  This matches the
+    applications' staging pattern — a burst of tens of thousands of
+    writes followed by a burst of reads — where an eagerly maintained
+    interval list would cost O(n^2).
+
+    >>> m = ExtentMap()
+    >>> m.write(0, 100, token=1)
+    >>> m.write(50, 150, token=2)
+    >>> [(e.start, e.end, e.token) for e in m.read(0, 150)]
+    [(0, 50, 1), (50, 150, 2)]
+    """
+
+    def __init__(self) -> None:
+        #: Raw write log: (start, end, token), insertion-ordered.
+        self._writes: List[Tuple[int, int, int]] = []
+        self._built: Optional[List[Extent]] = None
+        self._starts: List[int] = []
+        self._high_water = 0
+
+    def __len__(self) -> int:
+        self._ensure_built()
+        return len(self._built)
+
+    @property
+    def extents(self) -> Tuple[Extent, ...]:
+        self._ensure_built()
+        return tuple(self._built)
+
+    @property
+    def high_water(self) -> int:
+        """One past the last written byte (the file size)."""
+        return self._high_water
+
+    def write(self, start: int, end: int, token: int) -> None:
+        """Record a write of ``[start, end)`` with ``token``."""
+        if start < 0 or end < start:
+            raise PFSError(f"invalid write range [{start},{end})")
+        if end == start:
+            return
+        self._writes.append((start, end, token))
+        if end > self._high_water:
+            self._high_water = end
+        self._built = None
+
+    def _ensure_built(self) -> None:
+        if self._built is not None:
+            return
+        # Sweep line over segment endpoints; among active segments the
+        # most recent write (highest sequence) paints the interval.
+        points: List[Tuple[int, int, int]] = []  # (coord, kind, seq)
+        segments = self._writes
+        for seq, (s, e, _tok) in enumerate(segments):
+            points.append((s, 1, seq))   # open
+            points.append((e, 0, seq))   # close (before opens at same x)
+        points.sort()
+        built: List[Extent] = []
+        active: set = set()
+        prev_x = None
+        top = -1  # seq of current painter
+
+        def emit(x0: int, x1: int, seq: int) -> None:
+            if x0 >= x1 or seq < 0:
+                return
+            token = segments[seq][2]
+            if built and built[-1].end == x0 and built[-1].token == token:
+                built[-1] = Extent(built[-1].start, x1, token)
+            else:
+                built.append(Extent(x0, x1, token))
+
+        for x, kind, seq in points:
+            if prev_x is not None and x > prev_x and active:
+                emit(prev_x, x, top)
+            if kind == 1:
+                active.add(seq)
+                if seq > top:
+                    top = seq
+            else:
+                active.discard(seq)
+                if seq == top:
+                    top = max(active) if active else -1
+            prev_x = x
+        self._built = built
+        self._starts = [e.start for e in built]
+
+    def read(self, start: int, end: int) -> List[Extent]:
+        """The written extents covering ``[start, end)``, clipped.
+
+        Gaps (never-written holes) are simply absent from the result.
+        """
+        if start < 0 or end < start:
+            raise PFSError(f"invalid read range [{start},{end})")
+        self._ensure_built()
+        built = self._built
+        out: List[Extent] = []
+        i = bisect_right(self._starts, start) - 1
+        if i < 0:
+            i = 0
+        for j in range(i, len(built)):
+            ext = built[j]
+            if ext.start >= end:
+                break
+            if ext.end <= start:
+                continue
+            lo, hi = max(ext.start, start), min(ext.end, end)
+            if lo < hi:
+                out.append(Extent(lo, hi, ext.token))
+        return out
+
+    def covered_bytes(self, start: int, end: int) -> int:
+        """How many bytes of ``[start, end)`` have been written."""
+        return sum(e.end - e.start for e in self.read(start, end))
+
+
+class SharedFileState:
+    """Per-file coordination state shared by every opener."""
+
+    def __init__(
+        self,
+        env: "Engine",
+        path: str,
+        layout: StripeLayout,
+        file_id: int,
+    ) -> None:
+        self.env = env
+        self.path = path
+        self.layout = layout
+        self.file_id = file_id
+        self.extents = ExtentMap()
+        self.size = 0
+        self.mode = AccessMode.M_UNIX
+        #: rank -> open count (a rank may open a file more than once).
+        self.openers: Dict[int, int] = {}
+        #: Atomicity token serializing M_UNIX operations when shared.
+        #: Data operations (short validation holds) are served with
+        #: priority over pointer operations (seeks, long holds), so a
+        #: write is never stuck behind a queue full of seeks — the
+        #: asymmetry behind ESCAT-B's seek-dominated profile.
+        self.token = PriorityResource(env, capacity=1)
+        #: Shared file pointer for M_GLOBAL / M_SYNC / M_LOG.
+        self.shared_offset = 0
+        #: Node-order coordination (built lazily when a node-ordered or
+        #: collective mode is configured, since it needs the group).
+        self.turn: Optional[TurnTaker] = None
+        #: Sorted group ranks captured when the mode was set.
+        self.group: List[int] = []
+        #: Fixed record size for M_RECORD (established by first access).
+        self.record_size: Optional[int] = None
+        #: Monotonic token source for writes.
+        self._next_token = 0
+        #: Generation counter bumped by setiomode (invalidates record
+        #: size and node-order state).
+        self.mode_generation = 0
+
+    # -- openers ---------------------------------------------------------
+    def add_opener(self, rank: int) -> None:
+        self.openers[rank] = self.openers.get(rank, 0) + 1
+
+    def remove_opener(self, rank: int) -> None:
+        count = self.openers.get(rank, 0)
+        if count <= 0:
+            raise PFSError(f"rank {rank} closed {self.path!r} more than opened")
+        if count == 1:
+            del self.openers[rank]
+        else:
+            self.openers[rank] = count - 1
+        if not self.openers:
+            # Last close: the access mode does not outlive the open
+            # session.  The next opener starts from the M_UNIX default.
+            self.mode = AccessMode.M_UNIX
+            self.group = []
+            self.turn = None
+            self.record_size = None
+            self.mode_generation += 1
+
+    @property
+    def n_openers(self) -> int:
+        return len(self.openers)
+
+    @property
+    def is_shared(self) -> bool:
+        """Open on more than one node (triggers M_UNIX serialization)."""
+        return len(self.openers) > 1
+
+    # -- mode ------------------------------------------------------------
+    def set_mode(self, mode: AccessMode) -> None:
+        """Install ``mode`` and rebuild the group coordination state."""
+        self.mode = mode
+        self.mode_generation += 1
+        self.group = sorted(self.openers)
+        self.record_size = None
+        from repro.pfs.modes import semantics
+
+        if semantics(mode).node_ordered and self.group:
+            self.turn = TurnTaker(self.env, parties=len(self.group))
+        else:
+            self.turn = None
+
+    def group_index(self, rank: int) -> int:
+        """Position of ``rank`` in the mode group (node order)."""
+        try:
+            return self.group.index(rank)
+        except ValueError:
+            raise PFSError(
+                f"rank {rank} is not in the {self.mode} group of {self.path!r}"
+            ) from None
+
+    # -- data ------------------------------------------------------------
+    def new_token(self, rank: int) -> int:
+        """A unique id for one write (encodes nothing; just unique)."""
+        self._next_token += 1
+        return self._next_token
+
+    def record_write(self, offset: int, nbytes: int, token: int) -> None:
+        self.extents.write(offset, offset + nbytes, token)
+        self.size = max(self.size, offset + nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedFileState {self.path!r} size={self.size} "
+            f"mode={self.mode} openers={len(self.openers)}>"
+        )

@@ -1,0 +1,103 @@
+"""Per-process file handles."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FileNotOpenError, PFSError
+from repro.pfs.buffering import ReadBuffer
+from repro.pfs.file import SharedFileState
+from repro.pfs.modes import AccessMode, semantics
+
+
+class FileHandle:
+    """One process's view of an open PFS file.
+
+    Attributes
+    ----------
+    state:
+        The shared per-file state.
+    rank:
+        Owning application rank.
+    offset:
+        This process's private file pointer (used by the
+        private-pointer modes; shared-pointer modes keep theirs in
+        ``state.shared_offset``).
+    buffered:
+        Whether client-side buffering (and the server block cache) is
+        enabled for this handle.  The PRISM version-C experiment turns
+        this off for the restart file.
+    """
+
+    def __init__(
+        self,
+        state: SharedFileState,
+        rank: int,
+        buffered: bool = True,
+        buffer_size: int = 64 * 1024,
+    ) -> None:
+        self.state = state
+        self.rank = rank
+        self.offset = 0
+        self.buffered = buffered
+        #: Whether this handle's requests may use the stripe-server
+        #: block caches.  Disabling buffering turns this off too (the
+        #: PFS "no system I/O buffering" control was all-or-nothing),
+        #: but policy layers (e.g. the prefetcher) can re-enable the
+        #: server side independently.
+        self.server_cached = buffered
+        self.buffer: Optional[ReadBuffer] = (
+            ReadBuffer(state, buffer_size) if buffered else None
+        )
+        self._open = True
+
+    @property
+    def path(self) -> str:
+        return self.state.path
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def mode(self) -> AccessMode:
+        return self.state.mode
+
+    @property
+    def uses_shared_pointer(self) -> bool:
+        return not semantics(self.state.mode).private_pointer
+
+    def require_open(self) -> None:
+        if not self._open:
+            raise FileNotOpenError(
+                f"operation on closed handle for {self.path!r}"
+            )
+
+    def current_offset(self) -> int:
+        """The effective file position for the next operation."""
+        if self.uses_shared_pointer:
+            return self.state.shared_offset
+        return self.offset
+
+    def set_buffered(self, buffered: bool, buffer_size: int = 64 * 1024) -> None:
+        """Enable/disable buffering (models the PFS buffering control)."""
+        self.require_open()
+        self.buffered = buffered
+        self.server_cached = buffered
+        if buffered and self.buffer is None:
+            self.buffer = ReadBuffer(self.state, buffer_size)
+        if not buffered:
+            self.buffer = None
+
+    def mark_closed(self) -> None:
+        if not self._open:
+            raise PFSError(f"double close of {self.path!r}")
+        self._open = False
+        self.buffer = None
+
+    def __repr__(self) -> str:
+        status = "open" if self._open else "closed"
+        return (
+            f"<FileHandle {self.path!r} rank={self.rank} {status} "
+            f"offset={self.offset} mode={self.state.mode}>"
+        )

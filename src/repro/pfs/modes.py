@@ -1,0 +1,102 @@
+"""Intel PFS file access modes and their semantic properties.
+
+The paper (section 3.2) describes six modes.  Each is characterized
+here along the dimensions that drive the simulator's behaviour:
+
+========== ============== =========== =========== ==================
+mode       file pointer   ordering    sizes       atomicity overhead
+========== ============== =========== =========== ==================
+M_UNIX     per process    serialized  variable    yes (token)
+M_RECORD   per process    node order  fixed       no (structured)
+M_ASYNC    per process    none        variable    no (programmer's)
+M_GLOBAL   shared         synchronized identical  one I/O, broadcast
+M_SYNC     shared         node order  variable    synchronized
+M_LOG      shared         FCFS        variable    append-style
+========== ============== =========== =========== ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import AccessModeError
+
+
+class AccessMode(str, Enum):
+    """The six PFS I/O modes."""
+
+    M_UNIX = "M_UNIX"
+    M_RECORD = "M_RECORD"
+    M_ASYNC = "M_ASYNC"
+    M_GLOBAL = "M_GLOBAL"
+    M_SYNC = "M_SYNC"
+    M_LOG = "M_LOG"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModeSemantics:
+    """Behavioural flags for one access mode."""
+
+    #: Every process has its own file pointer.
+    private_pointer: bool
+    #: Operations on a shared file serialize through the atomicity token.
+    atomic_serialized: bool
+    #: Operations are issued in node (rank) order.
+    node_ordered: bool
+    #: All requests in the group must be the same, fixed size.
+    fixed_size: bool
+    #: All processes access the same data; one physical I/O + broadcast.
+    aggregated: bool
+    #: All group members must participate in each operation.
+    collective_data: bool
+
+
+_SEMANTICS = {
+    AccessMode.M_UNIX: ModeSemantics(
+        private_pointer=True, atomic_serialized=True, node_ordered=False,
+        fixed_size=False, aggregated=False, collective_data=False,
+    ),
+    AccessMode.M_RECORD: ModeSemantics(
+        private_pointer=True, atomic_serialized=False, node_ordered=True,
+        fixed_size=True, aggregated=False, collective_data=False,
+    ),
+    AccessMode.M_ASYNC: ModeSemantics(
+        private_pointer=True, atomic_serialized=False, node_ordered=False,
+        fixed_size=False, aggregated=False, collective_data=False,
+    ),
+    AccessMode.M_GLOBAL: ModeSemantics(
+        private_pointer=False, atomic_serialized=False, node_ordered=False,
+        fixed_size=False, aggregated=True, collective_data=True,
+    ),
+    AccessMode.M_SYNC: ModeSemantics(
+        private_pointer=False, atomic_serialized=False, node_ordered=True,
+        fixed_size=False, aggregated=False, collective_data=False,
+    ),
+    AccessMode.M_LOG: ModeSemantics(
+        private_pointer=False, atomic_serialized=False, node_ordered=False,
+        fixed_size=False, aggregated=False, collective_data=False,
+    ),
+}
+
+
+def semantics(mode: AccessMode) -> ModeSemantics:
+    """The behavioural flags of ``mode``."""
+    try:
+        return _SEMANTICS[mode]
+    except KeyError:
+        raise AccessModeError(f"unknown access mode {mode!r}") from None
+
+
+def parse_mode(name: str) -> AccessMode:
+    """Parse a mode name (e.g. ``"M_UNIX"``), case-insensitively."""
+    try:
+        return AccessMode(name.upper())
+    except ValueError:
+        valid = ", ".join(m.value for m in AccessMode)
+        raise AccessModeError(
+            f"unknown access mode {name!r}; valid modes: {valid}"
+        ) from None

@@ -1,0 +1,39 @@
+"""File-system design-principle implementations (paper section 7).
+
+The paper concludes that "request aggregation, prefetching, and write
+behind" — done *by the file system* rather than by hand-tuned
+application code — would relieve applications of PFS-specific tuning.
+This package implements each principle as a client-side component the
+ablation benchmarks can switch on and off, plus the PPFS-style
+adaptive policy selector the paper cites ([6], Huber et al.):
+
+- :class:`~repro.policies.aggregation.WriteAggregator` — coalesces
+  small sequential writes into stripe-sized requests (what the ESCAT
+  developers did by hand).
+- :class:`~repro.policies.prefetch.SequentialPrefetcher` — read-ahead
+  into the stripe-server caches (what would have rescued PRISM C's
+  unbuffered header reads).
+- :class:`~repro.policies.writebehind.DelayedWriteBuffer` — detaches
+  write completion from disk commit with bounded dirty data.
+- :class:`~repro.policies.adaptive.AccessPatternClassifier` /
+  :class:`~repro.policies.adaptive.AdaptivePolicy` — online pattern
+  classification driving automatic policy selection.
+"""
+
+from repro.policies.aggregation import WriteAggregator
+from repro.policies.prefetch import SequentialPrefetcher
+from repro.policies.writebehind import DelayedWriteBuffer
+from repro.policies.adaptive import (
+    AccessPatternClassifier,
+    AdaptivePolicy,
+    PatternClass,
+)
+
+__all__ = [
+    "WriteAggregator",
+    "SequentialPrefetcher",
+    "DelayedWriteBuffer",
+    "AccessPatternClassifier",
+    "AdaptivePolicy",
+    "PatternClass",
+]

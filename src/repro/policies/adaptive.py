@@ -1,0 +1,166 @@
+"""PPFS-style adaptive policy selection.
+
+The paper's closing recommendation (citing Huber et al.'s PPFS) is "a
+file system that dynamically tunes its policy to match the
+requirements of the application access patterns".  This module
+implements the core of such a system: an online classifier over the
+recent request stream, and a policy layer that picks buffering,
+prefetching, or aggregation per handle based on the classification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Generator, List, Optional, Tuple
+
+from repro.errors import PFSError
+from repro.pfs.client import PFSNodeClient
+from repro.pfs.handle import FileHandle
+from repro.policies.aggregation import WriteAggregator
+from repro.policies.prefetch import SequentialPrefetcher
+from repro.units import KB
+
+
+class PatternClass(str, Enum):
+    """Access-pattern classes the selector distinguishes."""
+
+    SMALL_SEQUENTIAL = "small-sequential"
+    LARGE_SEQUENTIAL = "large-sequential"
+    STRIDED = "strided"
+    RANDOM = "random"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AccessPatternClassifier:
+    """Online classifier over a sliding window of (offset, size).
+
+    Classification rules:
+
+    - *sequential*: most requests start where the previous ended;
+      split into small/large at ``small_threshold``;
+    - *strided*: a dominant constant non-zero gap between requests;
+    - *random*: none of the above.
+    """
+
+    def __init__(self, window: int = 16, small_threshold: int = 8 * KB) -> None:
+        if window < 4:
+            raise PFSError(f"classifier window must be >= 4, got {window}")
+        self.window = window
+        self.small_threshold = small_threshold
+        self._requests: Deque[Tuple[int, int]] = deque(maxlen=window)
+
+    def observe(self, offset: int, nbytes: int) -> None:
+        """Feed one request into the window."""
+        if offset < 0 or nbytes < 0:
+            raise PFSError("invalid request observed")
+        self._requests.append((offset, nbytes))
+
+    @property
+    def observations(self) -> int:
+        return len(self._requests)
+
+    def classify(self) -> PatternClass:
+        """Classify the current window."""
+        reqs = list(self._requests)
+        if len(reqs) < 4:
+            return PatternClass.UNKNOWN
+        gaps = []
+        sequential = 0
+        for (off_a, len_a), (off_b, _len_b) in zip(reqs, reqs[1:]):
+            gap = off_b - (off_a + len_a)
+            gaps.append(gap)
+            if gap == 0:
+                sequential += 1
+        n_pairs = len(gaps)
+        mean_size = sum(n for _, n in reqs) / len(reqs)
+        if sequential >= 0.75 * n_pairs:
+            if mean_size < self.small_threshold:
+                return PatternClass.SMALL_SEQUENTIAL
+            return PatternClass.LARGE_SEQUENTIAL
+        nonzero = [g for g in gaps if g != 0]
+        if nonzero:
+            dominant = max(set(nonzero), key=nonzero.count)
+            if dominant > 0 and nonzero.count(dominant) >= 0.6 * n_pairs:
+                return PatternClass.STRIDED
+        return PatternClass.RANDOM
+
+
+class AdaptivePolicy:
+    """Per-handle policy selection driven by the classifier.
+
+    Reads route through a :class:`SequentialPrefetcher` once the
+    stream classifies sequential; writes route through a
+    :class:`WriteAggregator` once they classify small-sequential.
+    Everything else passes straight through.  ``decisions`` records
+    each policy switch for inspection.
+    """
+
+    def __init__(
+        self,
+        client: PFSNodeClient,
+        handle: FileHandle,
+        window: int = 16,
+    ) -> None:
+        self.client = client
+        self.handle = handle
+        self.read_classifier = AccessPatternClassifier(window=window)
+        self.write_classifier = AccessPatternClassifier(window=window)
+        self._prefetcher: Optional[SequentialPrefetcher] = None
+        self._aggregator: Optional[WriteAggregator] = None
+        self.decisions: List[Tuple[float, str, PatternClass]] = []
+
+    # -- reads -------------------------------------------------------------
+    def read(self, nbytes: int) -> Generator:
+        offset = self.handle.offset
+        self.read_classifier.observe(offset, nbytes)
+        pattern = self.read_classifier.classify()
+        if pattern in (
+            PatternClass.SMALL_SEQUENTIAL, PatternClass.LARGE_SEQUENTIAL
+        ):
+            if self._prefetcher is None:
+                self._prefetcher = SequentialPrefetcher(
+                    self.client, self.handle
+                )
+                self.decisions.append(
+                    (self.client.env.now, "enable-prefetch", pattern)
+                )
+            return (yield from self._prefetcher.read(nbytes))
+        if self._prefetcher is not None:
+            self.decisions.append(
+                (self.client.env.now, "disable-prefetch", pattern)
+            )
+            self._prefetcher = None
+        return (yield from self.client.read(self.handle, nbytes))
+
+    # -- writes ---------------------------------------------------------------
+    def write(self, nbytes: int) -> Generator:
+        offset = self.handle.offset
+        self.write_classifier.observe(offset, nbytes)
+        pattern = self.write_classifier.classify()
+        if pattern == PatternClass.SMALL_SEQUENTIAL:
+            if self._aggregator is None:
+                self._aggregator = WriteAggregator(self.client, self.handle)
+                self.decisions.append(
+                    (self.client.env.now, "enable-aggregation", pattern)
+                )
+            yield from self._aggregator.write(nbytes)
+            return
+        if self._aggregator is not None:
+            yield from self._aggregator.flush()
+            self.decisions.append(
+                (self.client.env.now, "disable-aggregation", pattern)
+            )
+            self._aggregator = None
+        yield from self.client.write(self.handle, nbytes)
+
+    def finish(self) -> Generator:
+        """Flush any policy state (call before close)."""
+        if self._aggregator is not None:
+            yield from self._aggregator.flush()
+
+    def __repr__(self) -> str:
+        return f"<AdaptivePolicy decisions={len(self.decisions)}>"

@@ -1,0 +1,85 @@
+"""Write-behind: detaching write completion from the disk commit.
+
+The PFS already acknowledges non-atomic-mode writes from the stripe
+server cache; this component moves the decoupling one step earlier,
+into the client library: writes return immediately after local
+buffering and a bounded number of positional writebacks proceed in the
+background.  ``drain()`` provides the synchronization point
+(checkpoint consistency) and bounds data-loss exposure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.errors import PFSError
+from repro.pfs.client import PFSNodeClient
+from repro.pfs.handle import FileHandle
+from repro.sim.resources import Resource
+
+
+class DelayedWriteBuffer:
+    """Client-side write-behind for one handle.
+
+    Parameters
+    ----------
+    client, handle:
+        The PFS client and open handle to write through.
+    max_outstanding:
+        Bound on in-flight background writes; ``write`` blocks when it
+        is reached (backpressure instead of unbounded dirty data).
+    """
+
+    def __init__(
+        self,
+        client: PFSNodeClient,
+        handle: FileHandle,
+        max_outstanding: int = 8,
+    ) -> None:
+        if max_outstanding < 1:
+            raise PFSError(
+                f"max_outstanding must be >= 1, got {max_outstanding}"
+            )
+        self.client = client
+        self.handle = handle
+        self._slots = Resource(client.env, capacity=max_outstanding)
+        self._inflight: List[object] = []
+        self.writes_issued = 0
+        self.blocked_on_backpressure = 0
+
+    def write(self, nbytes: int) -> Generator:
+        """Logically complete a write immediately; commit in background."""
+        if nbytes < 0:
+            raise PFSError(f"negative write size {nbytes}")
+        offset = self.handle.offset
+        self.handle.offset = offset + nbytes
+        slot = self._slots.request()
+        if not slot.triggered:
+            self.blocked_on_backpressure += 1
+        yield slot
+        self.writes_issued += 1
+        proc = self.client.env.process(
+            self._commit(offset, nbytes, slot), name="delayed-write"
+        )
+        self._inflight.append(proc)
+
+    def _commit(self, offset: int, nbytes: int, slot) -> Generator:
+        yield from self.client.pwrite(self.handle, offset, nbytes)
+        self._slots.release(slot)
+
+    def drain(self) -> Generator:
+        """Wait for every outstanding background write to commit."""
+        pending = [p for p in self._inflight if not p.processed]
+        self._inflight = []
+        if pending:
+            yield self.client.env.all_of(pending)
+
+    @property
+    def outstanding(self) -> int:
+        return self._slots.count
+
+    def __repr__(self) -> str:
+        return (
+            f"<DelayedWriteBuffer issued={self.writes_issued} "
+            f"outstanding={self.outstanding}>"
+        )

@@ -1,0 +1,16 @@
+"""Trace-driven replay.
+
+A captured Pablo trace can be *replayed* against a different machine
+or file-system configuration — "what would the Caltech traces have
+done with 32 I/O nodes, or a larger stripe?".  This is the
+trace-driven-evaluation methodology the characterization literature
+(and the PPFS work the paper cites) used to evaluate file-system
+policies against real application behaviour without re-running the
+applications.
+
+Entry point: :class:`~repro.replay.replayer.TraceReplayer`.
+"""
+
+from repro.replay.replayer import ReplayResult, TraceReplayer, replay_trace
+
+__all__ = ["TraceReplayer", "ReplayResult", "replay_trace"]

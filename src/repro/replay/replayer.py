@@ -1,0 +1,261 @@
+"""Replaying Pablo traces against alternative configurations.
+
+The replayer reconstructs, from a trace, each node's operation
+sequence (with the compute "think time" between operations) and the
+collective structure (which nodes gopen/setiomode together), then
+re-issues everything through a fresh PFS on a fresh machine.  The new
+trace can be compared with the original: same workload, different
+file system.
+
+Limitations (documented, inherent to trace-driven replay):
+
+- client-buffering settings are not recorded in traces; replays use
+  the default (buffered) handles;
+- think times reflect the original run's compute *and* any
+  synchronization stalls outside I/O calls, so replays preserve the
+  original issue pattern rather than re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.machine import MachineConfig, ParagonXPS
+from repro.pablo.records import IOEvent, IOOp, TraceMeta
+from repro.pablo.tracer import Trace, Tracer
+from repro.pfs import PFS, PFSCostModel
+from repro.pfs.modes import AccessMode, parse_mode, semantics
+from repro.sim import Engine
+from repro.sim.sync import Gate
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one trace."""
+
+    original: Trace
+    replayed: Trace
+    wall_time: float
+
+    @property
+    def original_io_time(self) -> float:
+        return self.original.total_io_time
+
+    @property
+    def replayed_io_time(self) -> float:
+        return self.replayed.total_io_time
+
+    @property
+    def io_time_ratio(self) -> float:
+        """Replayed I/O time over original (<1 = the new config wins)."""
+        orig = self.original_io_time
+        return self.replayed_io_time / orig if orig > 0 else float("inf")
+
+
+class TraceReplayer:
+    """Replays a trace on a new machine/PFS configuration."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        machine_config: Optional[MachineConfig] = None,
+        costs: Optional[PFSCostModel] = None,
+        think_time_scale: float = 1.0,
+    ) -> None:
+        if think_time_scale < 0:
+            raise TraceError(
+                f"think_time_scale must be >= 0, got {think_time_scale}"
+            )
+        self.trace = trace
+        self.machine_config = machine_config or MachineConfig.caltech()
+        self.costs = costs
+        self.think_time_scale = think_time_scale
+        self._per_node = self._split_by_node(trace)
+        self._gopen_groups = self._collective_groups(trace, IOOp.GOPEN)
+        self._iomode_groups = self._collective_groups(trace, IOOp.IOMODE)
+
+    # -- preprocessing -----------------------------------------------------
+    @staticmethod
+    def _split_by_node(trace: Trace) -> Dict[int, List[IOEvent]]:
+        out: Dict[int, List[IOEvent]] = {}
+        for e in trace.events:
+            out.setdefault(e.node, []).append(e)
+        for events in out.values():
+            events.sort(key=lambda e: e.start)
+        return out
+
+    @staticmethod
+    def _collective_groups(
+        trace: Trace, op: IOOp
+    ) -> Dict[Tuple[str, int], List[int]]:
+        """(path, per-node call index) -> sorted group ranks.
+
+        The i-th gopen/setiomode call a node makes on a path matches
+        the i-th call every other group member makes on it.
+        """
+        counters: Dict[Tuple[str, int], int] = {}
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for e in sorted(trace.events, key=lambda e: e.start):
+            if e.op != op:
+                continue
+            seq = counters.get((e.path, e.node), 0)
+            counters[(e.path, e.node)] = seq + 1
+            groups.setdefault((e.path, seq), []).append(e.node)
+        return {k: sorted(v) for k, v in groups.items()}
+
+    # -- replay ----------------------------------------------------------
+    def run(self) -> ReplayResult:
+        """Execute the replay; returns the new trace and wall time."""
+        env = Engine()
+        machine = ParagonXPS(env, self.machine_config)
+        meta = self.trace.meta
+        tracer = Tracer(TraceMeta(
+            application=meta.application,
+            version=f"{meta.version}-replay",
+            dataset=meta.dataset,
+            nodes=meta.nodes,
+            os_release=meta.os_release,
+        ))
+        pfs = PFS(env, machine, costs=self.costs, tracer=tracer)
+        setup_done = Gate(env)
+
+        n_nodes = (max(self._per_node) + 1) if self._per_node else 1
+        if n_nodes > self.machine_config.n_compute_nodes:
+            raise TraceError(
+                f"trace uses {n_nodes} nodes; machine has only "
+                f"{self.machine_config.n_compute_nodes}"
+            )
+
+        procs = [
+            env.process(
+                self._node_process(pfs, tracer, rank, setup_done),
+                name=f"replay.{rank}",
+            )
+            for rank in sorted(self._per_node)
+        ]
+        env.run(until=env.all_of(procs))
+        wall = env.now
+        env.run()  # drain background write-behind activity
+        return ReplayResult(
+            original=self.trace, replayed=tracer.finish(), wall_time=wall
+        )
+
+    def _prepopulate(self, pfs: PFS, tracer: Tracer, cli):
+        """Create every file the trace reads, sized to cover its reads."""
+        tracer.pause()
+        sizes: Dict[str, int] = {}
+        for e in self.trace.events:
+            if e.op == IOOp.READ and e.path:
+                end = (e.offset if e.offset >= 0 else 0) + e.nbytes
+                sizes[e.path] = max(sizes.get(e.path, 0), end)
+        for path, size in sorted(sizes.items()):
+            handle = yield from cli.open(path)
+            if size > 0:
+                yield from cli.write(handle, size)
+            yield from cli.close(handle)
+        tracer.resume()
+
+    def _node_process(self, pfs: PFS, tracer: Tracer, rank: int, setup_done):
+        cli = pfs.client(rank)
+        if rank == min(self._per_node):
+            yield from self._prepopulate(pfs, tracer, cli)
+            setup_done.open()
+        else:
+            yield setup_done.wait()
+
+        handles: Dict[str, object] = {}
+        counters: Dict[Tuple[str, IOOp], int] = {}
+        clock = 0.0  # original-trace time at last completion
+        for e in self._per_node[rank]:
+            think = max(0.0, e.start - clock) * self.think_time_scale
+            if think > 0:
+                yield pfs.env.timeout(think)
+            clock = e.end
+            cli.phase = e.phase
+            yield from self._replay_event(cli, handles, counters, e)
+
+        for handle in list(handles.values()):
+            if handle.is_open:
+                yield from cli.close(handle)
+
+    def _replay_event(self, cli, handles, counters, e: IOEvent):
+        if e.op == IOOp.OPEN:
+            handles[e.path] = yield from cli.open(e.path)
+            return
+        if e.op == IOOp.GOPEN:
+            seq = counters.get((e.path, IOOp.GOPEN), 0)
+            counters[(e.path, IOOp.GOPEN)] = seq + 1
+            group = self._gopen_groups[(e.path, seq)]
+            mode = _mode_of(e)
+            handles[e.path] = yield from cli.gopen(
+                e.path, group=group,
+                mode=mode if mode != AccessMode.M_UNIX else None,
+            )
+            return
+
+        handle = handles.get(e.path)
+        if handle is None or not handle.is_open:
+            # Trace began mid-stream for this file: open implicitly.
+            handle = yield from cli.open(e.path)
+            handles[e.path] = handle
+
+        if e.op == IOOp.IOMODE:
+            seq = counters.get((e.path, IOOp.IOMODE), 0)
+            counters[(e.path, IOOp.IOMODE)] = seq + 1
+            group = self._iomode_groups[(e.path, seq)]
+            yield from cli.setiomode(handle, _mode_of(e), group=group)
+        elif e.op == IOOp.SEEK:
+            yield from cli.seek(handle, max(0, e.offset))
+        elif e.op == IOOp.READ:
+            self._position(handle, e)
+            yield from cli.read(handle, e.nbytes)
+        elif e.op == IOOp.WRITE:
+            self._position(handle, e)
+            yield from cli.write(handle, e.nbytes)
+        elif e.op == IOOp.FLUSH:
+            yield from cli.flush(handle)
+        elif e.op == IOOp.CLOSE:
+            yield from cli.close(handle)
+            handles.pop(e.path, None)
+        else:  # pragma: no cover - exhaustive over IOOp
+            raise TraceError(f"cannot replay op {e.op!r}")
+
+    @staticmethod
+    def _position(handle, e: IOEvent) -> None:
+        """Align a private file pointer with the recorded offset.
+
+        The original run reached this offset through its own pointer
+        motion, so repositioning is free; shared-pointer and
+        node-ordered modes define their own offsets and are left
+        alone.
+        """
+        state_mode = handle.state.mode
+        if e.offset < 0:
+            return
+        if not semantics(state_mode).private_pointer:
+            return
+        if state_mode == AccessMode.M_RECORD:
+            return
+        if handle.offset != e.offset:
+            handle.offset = e.offset
+
+
+def _mode_of(e: IOEvent) -> AccessMode:
+    return parse_mode(e.mode) if e.mode else AccessMode.M_UNIX
+
+
+def replay_trace(
+    trace: Trace,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    think_time_scale: float = 1.0,
+) -> ReplayResult:
+    """One-call convenience wrapper around :class:`TraceReplayer`."""
+    return TraceReplayer(
+        trace,
+        machine_config=machine_config,
+        costs=costs,
+        think_time_scale=think_time_scale,
+    ).run()

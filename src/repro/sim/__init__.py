@@ -1,0 +1,68 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, SimPy-flavoured kernel built from scratch:
+
+- :class:`~repro.sim.engine.Engine` — the event loop and clock.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf` —
+  the primitive occurrences processes wait on.
+- :class:`~repro.sim.process.Process` — generator-based coroutines;
+  ``yield`` an event to wait for it.
+- :class:`~repro.sim.resources.Resource` /
+  :class:`~repro.sim.resources.PriorityResource` — queued mutual
+  exclusion with configurable capacity (disk channels, atomicity
+  tokens).
+- :class:`~repro.sim.stores.Store` — producer/consumer queues
+  (I/O-node request queues).
+- :class:`~repro.sim.sync.Barrier`, :class:`~repro.sim.sync.Lock`,
+  :class:`~repro.sim.sync.TurnTaker` — synchronization used to model
+  PFS node-ordered access modes.
+- :class:`~repro.sim.rng.RandomStreams` — deterministic named
+  substreams for reproducible workloads.
+
+Example
+-------
+>>> from repro.sim import Engine
+>>> eng = Engine()
+>>> log = []
+>>> def proc(eng):
+...     yield eng.timeout(1.5)
+...     log.append(eng.now)
+>>> _ = eng.process(proc(eng))
+>>> eng.run()
+>>> log
+[1.5]
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, Timeout, AllOf, AnyOf, ConditionValue
+from repro.sim.process import Process, Interrupt
+from repro.sim.resources import Resource, PriorityResource, Preempted
+from repro.sim.stores import Store, FilterStore
+from repro.sim.sync import Barrier, Lock, Semaphore, TurnTaker, Gate
+from repro.sim.monitor import QueueLog, watch
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Preempted",
+    "Store",
+    "FilterStore",
+    "Barrier",
+    "Lock",
+    "Semaphore",
+    "TurnTaker",
+    "Gate",
+    "RandomStreams",
+    "QueueLog",
+    "watch",
+]

@@ -1,0 +1,171 @@
+"""The discrete-event engine: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+from heapq import heappush, heappop
+from typing import Generator, List, Optional, Tuple
+
+from repro.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.sim.process import Process
+
+#: Queue entry: (time, priority, sequence, event).  ``sequence`` breaks
+#: ties deterministically in insertion order.
+_QueueItem = Tuple[float, int, int, Event]
+
+
+class Engine:
+    """Event loop and simulated clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the clock (seconds).
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> def hello(eng):
+    ...     yield eng.timeout(2.0)
+    ...     return "done at %.1f" % eng.now
+    >>> p = eng.process(hello(eng))
+    >>> eng.run()
+    >>> p.value
+    'done at 2.0'
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[_QueueItem] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, object, object],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling (internal API used by events) --------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to it."""
+        try:
+            when, _prio, _eid, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the simulation, mirroring an
+            # uncaught exception in a thread.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: object = None) -> object:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    return stop_event.value
+                stop_event.callbacks.append(self._stop_on_event)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SimulationError(
+                        f"until={at} is in the past (now={self._now})"
+                    )
+                stopper = Event(self)
+                stopper._ok = True
+                stopper._value = None
+                stopper.callbacks.append(self._stop_on_event)
+                # Priority below NORMAL so same-time events run first.
+                self._eid += 1
+                heappush(self._queue, (at, NORMAL + 1, self._eid, stopper))
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            pass
+
+        if stop_event is not None and isinstance(until, Event):
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) finished but the event never triggered"
+                )
+            return stop_event.value
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: Event) -> None:
+        if not event._ok and isinstance(event._value, BaseException):
+            # run(until=event) surfaces the failure to the caller.
+            event._defused = True
+            raise event._value
+        raise StopSimulation(event._value)
+
+    def __repr__(self) -> str:
+        return f"<Engine t={self._now:.6f} queued={len(self._queue)}>"

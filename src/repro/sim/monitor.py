@@ -1,0 +1,102 @@
+"""Event-driven resource monitoring.
+
+A :class:`QueueLog` attached to a resource records (time, queue
+length, holders) at every state change — exact, allocation-light, and
+without the keep-alive problem a polling process would create in a
+run-to-exhaustion simulation.  This is the observability layer the
+paper's authors did not have: the atomicity-token and metadata-node
+queues can be watched directly instead of inferred from operation
+durations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.resources import Resource
+
+
+class QueueLog:
+    """State-change samples of one resource's queue."""
+
+    __slots__ = ("times", "queued", "in_use")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.queued: List[int] = []
+        self.in_use: List[int] = []
+
+    def sample(self, time: float, queued: int, in_use: int) -> None:
+        """Record one state change (called by the resource)."""
+        self.times.append(time)
+        self.queued.append(queued)
+        self.in_use.append(in_use)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    # -- analysis ----------------------------------------------------------
+    def series(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, queue lengths, holders) as arrays."""
+        return (
+            np.asarray(self.times, dtype=float),
+            np.asarray(self.queued, dtype=np.int64),
+            np.asarray(self.in_use, dtype=np.int64),
+        )
+
+    @property
+    def peak_queue(self) -> int:
+        return max(self.queued) if self.queued else 0
+
+    def time_weighted_mean_queue(self) -> float:
+        """Mean queue length weighted by how long each level held."""
+        if len(self.times) < 2:
+            return float(self.queued[0]) if self.queued else 0.0
+        t = np.asarray(self.times, dtype=float)
+        q = np.asarray(self.queued, dtype=float)
+        widths = np.diff(t)
+        total = widths.sum()
+        if total <= 0:
+            return float(q.mean())
+        return float((q[:-1] * widths).sum() / total)
+
+    def busy_fraction(self) -> float:
+        """Fraction of observed time with at least one holder."""
+        if len(self.times) < 2:
+            return 0.0
+        t = np.asarray(self.times, dtype=float)
+        u = np.asarray(self.in_use, dtype=float)
+        widths = np.diff(t)
+        total = widths.sum()
+        if total <= 0:
+            return 0.0
+        return float(((u[:-1] > 0) * widths).sum() / total)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueueLog samples={len(self.times)} "
+            f"peak={self.peak_queue}>"
+        )
+
+
+def watch(resource: "Resource") -> QueueLog:
+    """Attach a fresh :class:`QueueLog` to ``resource`` and return it.
+
+    Idempotent per resource: watching twice replaces the log.
+    """
+    if not hasattr(resource, "monitor"):
+        raise SimulationError(
+            f"{resource!r} does not support monitoring"
+        )
+    log = QueueLog()
+    resource.monitor = log
+    # Record the initial state so time-weighted stats start correctly.
+    log.sample(
+        resource.env.now, resource.queue_depth, len(resource.users)
+    )
+    return log

@@ -1,0 +1,189 @@
+"""Queued resources: mutual exclusion with capacity.
+
+A :class:`Resource` models a server pool (disk channels, an atomicity
+token): processes ``yield resource.request()`` to acquire a slot and
+call ``resource.release(req)`` (or use the request as a context manager)
+to free it.  Waiters queue FIFO; :class:`PriorityResource` orders the
+queue by a priority key instead, which the PFS uses to impose *node
+order* on synchronized access modes.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush, heappop
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Preempted(Exception):
+    """Delivered to a process whose resource slot was preempted."""
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release if granted, or withdraw from the queue if pending."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A request carrying an ordering key for :class:`PriorityResource`."""
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "Resource", priority: float) -> None:
+        super().__init__(resource)
+        self.priority = priority
+        self.seq = resource._next_seq()
+
+    @property
+    def key(self) -> Tuple[float, int]:
+        return (self.priority, self.seq)
+
+
+class Resource:
+    """FIFO resource with integer capacity.
+
+    Parameters
+    ----------
+    env:
+        Owning engine.
+    capacity:
+        Number of simultaneous holders (>= 1).
+    """
+
+    def __init__(self, env: "Engine", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+        self._seq = 0
+        #: Optional QueueLog (see repro.sim.monitor.watch).
+        self.monitor = None
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (not yet granted)."""
+        return len(self.queue)
+
+    def _record(self) -> None:
+        if self.monitor is not None:
+            self.monitor.sample(
+                self.env.now, self.queue_depth, len(self.users)
+            )
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self)
+        self.queue.append(req)
+        self._grant()
+        self._record()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Free a granted slot or withdraw a pending request."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        elif request in self.queue:
+            self.queue.remove(request)
+        # Releasing an unknown/already-released request is a no-op so
+        # that the context-manager protocol is idempotent.
+        self._record()
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            req = self.queue.pop(0)
+            self.users.append(req)
+            req.succeed()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} users={len(self.users)}/"
+            f"{self.capacity} queued={len(self.queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served in (priority, arrival) order.
+
+    Lower priority values are served first.  The PFS uses node rank as
+    the priority to realize node-ordered modes (``M_RECORD``,
+    ``M_SYNC``).
+    """
+
+    def __init__(self, env: "Engine", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[Tuple[Tuple[float, int], PriorityRequest]] = []
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._heap)
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
+        req = PriorityRequest(self, priority)
+        heappush(self._heap, (req.key, req))
+        self._grant()
+        self._record()
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant()
+        else:
+            # Lazy removal: mark withdrawn; skipped when popped.
+            self._heap = [(k, r) for (k, r) in self._heap if r is not request]
+            import heapq
+
+            heapq.heapify(self._heap)
+        self._record()
+
+    def _grant(self) -> None:
+        heap = getattr(self, "_heap", None)
+        if heap is None:  # called from base __init__ before _heap exists
+            return
+        while heap and len(self.users) < self.capacity:
+            _key, req = heappop(heap)
+            self.users.append(req)
+            req.succeed()
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)

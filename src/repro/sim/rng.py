@@ -1,0 +1,50 @@
+"""Deterministic named random-number substreams.
+
+Every stochastic element of a simulation (per-node compute jitter, disk
+service variation, workload generators) draws from its own named
+substream derived from a single root seed, so adding a new consumer
+never perturbs the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent, reproducible ``numpy`` generators.
+
+    >>> streams = RandomStreams(seed=42)
+    >>> a = streams.get("disk")      # stable across runs
+    >>> b = streams.get("compute.node3")
+    >>> a is streams.get("disk")     # cached per name
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def _derive(self, name: str) -> int:
+        digest = hashlib.sha256(
+            f"{self.seed}:{name}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(self._derive(name))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RandomStreams":
+        """A child factory whose streams are disjoint from the parent's."""
+        return RandomStreams(self._derive(f"fork:{name}"))
+
+    def __repr__(self) -> str:
+        return f"<RandomStreams seed={self.seed} streams={len(self._streams)}>"

@@ -1,0 +1,157 @@
+"""Producer/consumer stores.
+
+A :class:`Store` is an unbounded-or-bounded FIFO of Python objects with
+event-based ``put``/``get``; a :class:`FilterStore` lets getters select
+items with a predicate.  I/O-node request queues and mailbox-style
+message passing are built on these.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class StorePut(Event):
+    """Pending deposit of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a store; value is the retrieved item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(
+        self, store: "Store", filter: Optional[Callable[[object], bool]] = None
+    ) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+
+
+class Store:
+    """FIFO object store with optional capacity bound.
+
+    >>> from repro.sim import Engine
+    >>> eng = Engine()
+    >>> store = Store(eng)
+    >>> def producer(eng, store):
+    ...     yield store.put("req-1")
+    >>> def consumer(eng, store, out):
+    ...     item = yield store.get()
+    ...     out.append(item)
+    >>> out = []
+    >>> _ = eng.process(producer(eng, store))
+    >>> _ = eng.process(consumer(eng, store, out))
+    >>> eng.run()
+    >>> out
+    ['req-1']
+    """
+
+    def __init__(self, env: "Engine", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[object] = []
+        self._putters: List[StorePut] = []
+        self._getters: List[StoreGet] = []
+
+    def put(self, item: object) -> StorePut:
+        """Deposit ``item``; triggers when there is room."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; triggers when one is available."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    # -- matching ----------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and self._do_put(self._putters[0]):
+                self._putters.pop(0)
+                progress = True
+            while self._getters and self._do_get(self._getters[0]):
+                self._getters.pop(0)
+                progress = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} items={len(self.items)} "
+            f"putters={len(self._putters)} getters={len(self._getters)}>"
+        )
+
+
+class FilterStore(Store):
+    """Store whose getters may select items with a predicate.
+
+    ``get(lambda item: ...)`` retrieves the oldest item satisfying the
+    predicate; getters that match nothing wait without blocking later
+    getters whose predicates do match.
+    """
+
+    def get(self, filter: Optional[Callable[[object], bool]] = None) -> StoreGet:  # type: ignore[override]
+        event = StoreGet(self, filter)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _do_get(self, event: StoreGet) -> bool:
+        pred = event.filter
+        for i, item in enumerate(self.items):
+            if pred is None or pred(item):
+                del self.items[i]
+                event.succeed(item)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and self._do_put(self._putters[0]):
+                self._putters.pop(0)
+                progress = True
+            # Unlike the FIFO store, scan all getters: a blocked
+            # predicate must not starve satisfiable ones behind it.
+            remaining: List[StoreGet] = []
+            for getter in self._getters:
+                if self._do_get(getter):
+                    progress = True
+                else:
+                    remaining.append(getter)
+            self._getters = remaining

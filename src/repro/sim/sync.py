@@ -1,0 +1,255 @@
+"""Synchronization primitives built on the kernel.
+
+These model the coordination the Intel PFS imposes on its access modes:
+
+- :class:`Barrier` — N parties rendezvous (synchronized write steps in
+  ESCAT phase two; M_RECORD/M_SYNC round starts).
+- :class:`TurnTaker` — strict node-ordered turn taking within a round
+  (M_RECORD/M_SYNC service order).
+- :class:`Lock` / :class:`Semaphore` — mutual exclusion (the M_UNIX
+  atomicity token that serializes shared-file operations).
+- :class:`Gate` — a broadcast latch: once opened, all current and
+  future waiters pass immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Barrier:
+    """A reusable rendezvous for a fixed number of parties.
+
+    The ``parties``-th call to :meth:`wait` in each cycle releases all
+    waiters; the barrier then resets for the next cycle.
+
+    >>> from repro.sim import Engine
+    >>> eng = Engine()
+    >>> bar = Barrier(eng, parties=2)
+    >>> times = []
+    >>> def p(eng, bar, delay):
+    ...     yield eng.timeout(delay)
+    ...     yield bar.wait()
+    ...     times.append(eng.now)
+    >>> _ = eng.process(p(eng, bar, 1.0)); _ = eng.process(p(eng, bar, 3.0))
+    >>> eng.run()
+    >>> times
+    [3.0, 3.0]
+    """
+
+    def __init__(self, env: "Engine", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._waiting: List[Event] = []
+        self._cycle = 0
+
+    @property
+    def waiting(self) -> int:
+        """Number of parties currently blocked at the barrier."""
+        return len(self._waiting)
+
+    @property
+    def cycle(self) -> int:
+        """Completed rendezvous count."""
+        return self._cycle
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; triggers when all parties arrived.
+
+        The event value is the barrier cycle index that released it.
+        """
+        event = Event(self.env)
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            waiters, self._waiting = self._waiting, []
+            cycle = self._cycle
+            self._cycle += 1
+            for w in waiters:
+                w.succeed(cycle)
+        return event
+
+
+class TurnTaker:
+    """Strict turn order over ranks ``0..parties-1``, cyclically.
+
+    ``wait_turn(rank)`` blocks until every lower rank has taken its turn
+    in the current round; ``done(rank)`` passes the turn on.  This is
+    how PFS's node-ordered modes (M_RECORD, M_SYNC) sequence requests.
+    """
+
+    def __init__(self, env: "Engine", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._turn = 0  # next rank to be served in this round
+        self._round = 0
+        self._pending: Dict[int, Event] = {}
+
+    @property
+    def current_turn(self) -> int:
+        return self._turn
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def wait_turn(self, rank: int) -> Event:
+        """Block until it is ``rank``'s turn in the current round."""
+        if not 0 <= rank < self.parties:
+            raise SimulationError(
+                f"rank {rank} out of range for {self.parties} parties"
+            )
+        if rank in self._pending:
+            raise SimulationError(f"rank {rank} is already waiting its turn")
+        event = Event(self.env)
+        if rank == self._turn:
+            event.succeed(self._round)
+        else:
+            self._pending[rank] = event
+        return event
+
+    def done(self, rank: int) -> None:
+        """Finish ``rank``'s turn and wake the next rank (if waiting)."""
+        if rank != self._turn:
+            raise SimulationError(
+                f"rank {rank} called done() out of turn (turn={self._turn})"
+            )
+        self._turn += 1
+        if self._turn >= self.parties:
+            self._turn = 0
+            self._round += 1
+        nxt = self._pending.pop(self._turn, None)
+        if nxt is not None:
+            nxt.succeed(self._round)
+
+
+class Lock:
+    """Mutual exclusion; a convenience wrapper over a capacity-1 resource.
+
+    Use ``yield lock.acquire()`` / ``lock.release()``, or the
+    :meth:`holding` generator helper.
+    """
+
+    def __init__(self, env: "Engine") -> None:
+        self.env = env
+        self._resource = Resource(env, capacity=1)
+        self._holder = None
+
+    @property
+    def locked(self) -> bool:
+        return self._resource.count > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for the lock (the serialization
+        queue the paper observes under M_UNIX)."""
+        return len(self._resource.queue)
+
+    def acquire(self) -> Event:
+        req = self._resource.request()
+        return _chain(self, req)
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise SimulationError("release() of an unheld lock")
+        holder, self._holder = self._holder, None
+        self._resource.release(holder)
+
+    def holding(self, body: Generator) -> Generator:
+        """Run ``body`` (a generator) while holding the lock."""
+        yield self.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result
+
+
+def _chain(lock: Lock, req) -> Event:
+    """Record the granted request as the lock holder when it fires."""
+    if req.triggered:
+        lock._holder = req
+        return req
+
+    def _on_grant(event) -> None:
+        lock._holder = req
+
+    req.callbacks.insert(0, _on_grant)
+    return req
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    def __init__(self, env: "Engine", value: int = 1) -> None:
+        if value < 0:
+            raise SimulationError(f"initial value must be >= 0, got {value}")
+        self.env = env
+        self._value = value
+        self._waiters: List[Event] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        event = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._value += 1
+
+
+class Gate:
+    """A broadcast latch.
+
+    Before :meth:`open` is called, :meth:`wait` blocks; afterwards all
+    current waiters are released and future waiters pass immediately.
+    Models one-shot conditions such as "input data has been broadcast".
+    """
+
+    def __init__(self, env: "Engine") -> None:
+        self.env = env
+        self._open = False
+        self._value: object = None
+        self._waiters: List[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self, value: object = None) -> None:
+        """Open the gate, releasing all waiters with ``value``."""
+        if self._open:
+            raise SimulationError("gate already open")
+        self._open = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.succeed(value)
+
+    def wait(self) -> Event:
+        event = Event(self.env)
+        if self._open:
+            event.succeed(self._value)
+        else:
+            self._waiters.append(event)
+        return event

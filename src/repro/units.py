@@ -1,0 +1,64 @@
+"""Size and time units plus human-readable formatting helpers.
+
+All simulator times are in **seconds** (floats) and all sizes in
+**bytes** (ints).  These constants make workload definitions read like
+the paper: ``2 * KB``, ``64 * KB`` (the PFS stripe default),
+``128 * KB`` (two stripes, ESCAT's optimized read size).
+"""
+
+from __future__ import annotations
+
+#: One kibibyte.  The paper's "64K bytes" stripe unit is 64 * KB.
+KB: int = 1024
+#: One mebibyte.
+MB: int = 1024 * KB
+#: One gibibyte (the Paragon's RAID-3 arrays are 4.8 GB each).
+GB: int = 1024 * MB
+
+#: Microsecond / millisecond in seconds, for cost-model literals.
+USEC: float = 1e-6
+MSEC: float = 1e-3
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count the way the paper's plots label sizes.
+
+    >>> fmt_bytes(131072)
+    '128.0KB'
+    >>> fmt_bytes(40)
+    '40B'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    if n < KB:
+        return f"{n}B"
+    if n < MB:
+        return f"{n / KB:.1f}KB"
+    if n < GB:
+        return f"{n / MB:.1f}MB"
+    return f"{n / GB:.2f}GB"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a duration with a sensible unit.
+
+    >>> fmt_seconds(0.00025)
+    '250.0us'
+    >>> fmt_seconds(125.0)
+    '2m05.0s'
+    """
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    if t < 60.0:
+        return f"{t:.2f}s"
+    minutes, seconds = divmod(t, 60.0)
+    return f"{int(minutes)}m{seconds:04.1f}s"
+
+
+def fmt_percent(fraction: float, digits: int = 2) -> str:
+    """Format a fraction as the percent strings used in Tables 2/3/5."""
+    return f"{fraction * 100:.{digits}f}"

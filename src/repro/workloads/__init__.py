@@ -1,0 +1,39 @@
+"""Synthetic parallel-I/O workload generator and benchmark suite.
+
+The paper's conclusion promises that "a comprehensive set of parallel
+file system I/O benchmarks will be derived" from the characterization.
+This package is that derivation: parameterized access patterns
+(sequential, strided, partitioned, shared, random) composed into the
+three-phase structure (compulsory input / staging or checkpoint /
+compulsory output) that both studied applications exhibit.
+"""
+
+from repro.workloads.patterns import (
+    AccessPattern,
+    PartitionedPattern,
+    RandomPattern,
+    SequentialPattern,
+    SharedReadPattern,
+    StridedPattern,
+)
+from repro.workloads.generator import SyntheticWorkload, WorkloadPhase, run_workload
+from repro.workloads.ior import IORConfig, IORResult, run_ior
+from repro.workloads.suite import BENCHMARK_SUITE, benchmark_by_name, build_suite
+
+__all__ = [
+    "AccessPattern",
+    "SequentialPattern",
+    "StridedPattern",
+    "PartitionedPattern",
+    "SharedReadPattern",
+    "RandomPattern",
+    "SyntheticWorkload",
+    "WorkloadPhase",
+    "run_workload",
+    "BENCHMARK_SUITE",
+    "benchmark_by_name",
+    "build_suite",
+    "IORConfig",
+    "IORResult",
+    "run_ior",
+]

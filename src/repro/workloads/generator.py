@@ -1,0 +1,191 @@
+"""Synthetic workload generator.
+
+Composes :mod:`~repro.workloads.patterns` into the three-phase
+structure the paper found in both applications (section 6): compulsory
+input, a staging/checkpoint middle, compulsory output.  Each phase
+specifies who participates, the access pattern, request size/count,
+the PFS mode, and the compute time between requests — the same axes
+("I/O request size, I/O parallelism, and I/O access modes") the paper
+uses to classify behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.apps.base import AppContext, AppRunResult, run_application
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig
+from repro.pfs import PFSCostModel
+from repro.pfs.modes import AccessMode
+from repro.workloads.patterns import AccessPattern, SequentialPattern
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One phase of a synthetic workload."""
+
+    name: str
+    kind: str  # "read" | "write"
+    path: str
+    pattern: AccessPattern
+    request_size: int
+    requests_per_node: int
+    mode: AccessMode = AccessMode.M_UNIX
+    #: Which ranks participate; None = all.
+    participants: Optional[tuple] = None
+    #: Compute seconds between consecutive requests.
+    think_time: float = 0.0
+    #: Use gopen (collective) instead of per-node opens.
+    use_gopen: bool = False
+    #: Client-side buffering for this phase's handles.
+    buffered: bool = True
+    #: Synchronize all nodes every this many requests (0 = never).
+    sync_every: int = 0
+
+    def validate(self, n_nodes: int) -> None:
+        if self.kind not in ("read", "write"):
+            raise WorkloadError(f"phase kind must be read/write, not {self.kind}")
+        if self.request_size < 1 or self.requests_per_node < 0:
+            raise WorkloadError("invalid request geometry")
+        if self.participants is not None:
+            bad = [r for r in self.participants if not 0 <= r < n_nodes]
+            if bad:
+                raise WorkloadError(f"participants out of range: {bad}")
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A named sequence of phases over a node allocation."""
+
+    name: str
+    n_nodes: int
+    phases: tuple
+
+    def validate(self) -> None:
+        if self.n_nodes < 1:
+            raise WorkloadError("need >= 1 node")
+        if not self.phases:
+            raise WorkloadError("workload has no phases")
+        for phase in self.phases:
+            phase.validate(self.n_nodes)
+
+
+def _pattern_with_count(pattern: AccessPattern, count: int) -> AccessPattern:
+    """Fill in requests_per_node for patterns that need it."""
+    if isinstance(pattern, SequentialPattern) and pattern.requests_per_node <= 0:
+        return SequentialPattern(requests_per_node=count)
+    return pattern
+
+
+def _phase_participants(phase: WorkloadPhase, ctx: AppContext) -> List[int]:
+    if phase.participants is None:
+        return list(ctx.ranks)
+    return sorted(phase.participants)
+
+
+def _workload_rank(
+    ctx: AppContext, rank: int, workload: SyntheticWorkload
+) -> Generator:
+    cli = ctx.client(rank)
+    for phase in workload.phases:
+        cli.phase = phase.name
+        participants = _phase_participants(phase, ctx)
+        yield ctx.gsync()
+        if rank not in participants:
+            continue
+        group_index = participants.index(rank)
+        pattern = _pattern_with_count(phase.pattern, phase.requests_per_node)
+
+        if phase.use_gopen:
+            handle = yield from cli.gopen(
+                phase.path, group=participants, mode=phase.mode,
+                buffered=phase.buffered,
+            )
+        else:
+            handle = yield from cli.open(phase.path, buffered=phase.buffered)
+            if phase.mode != AccessMode.M_UNIX:
+                yield from cli.setiomode(handle, phase.mode, group=participants)
+
+        shared_pointer = handle.uses_shared_pointer
+        for i in range(phase.requests_per_node):
+            if not shared_pointer:
+                offset = pattern.offset(
+                    group_index, i, phase.request_size, len(participants)
+                )
+                if handle.offset != offset:
+                    yield from cli.seek(handle, offset)
+            if phase.kind == "write":
+                yield from cli.write(handle, phase.request_size)
+            else:
+                yield from cli.read(handle, phase.request_size)
+            if phase.think_time > 0:
+                yield from ctx.compute(rank, phase.think_time, jitter=0.2)
+            if phase.sync_every and (i + 1) % phase.sync_every == 0:
+                yield ctx.gsync()
+        yield from cli.close(handle)
+
+
+def run_workload(
+    workload: SyntheticWorkload,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    seed: int = 0,
+    prepopulate: bool = True,
+) -> AppRunResult:
+    """Execute a synthetic workload on a fresh simulated machine.
+
+    ``prepopulate`` writes every file a read phase touches before the
+    measured run (reads of never-written data are otherwise holes).
+    """
+    workload.validate()
+
+    def rank_process(ctx: AppContext, rank: int) -> Generator:
+        if prepopulate and rank == 0:
+            ctx.tracer.pause()
+            cli = ctx.client(0)
+            for phase in workload.phases:
+                if phase.kind != "read":
+                    continue
+                participants = _phase_participants(phase, ctx)
+                pattern = _pattern_with_count(
+                    phase.pattern, phase.requests_per_node
+                )
+                total = pattern.total_bytes(
+                    phase.requests_per_node, phase.request_size,
+                    len(participants),
+                )
+                # Upper-bound extent: cover the highest offset touched.
+                from repro.workloads.patterns import RandomPattern
+
+                if isinstance(pattern, RandomPattern):
+                    high = pattern.file_blocks * phase.request_size
+                else:
+                    high = max(
+                        (
+                            pattern.offset(gi, i, phase.request_size,
+                                           len(participants))
+                            + phase.request_size
+                            for gi in range(len(participants))
+                            for i in (0, max(0, phase.requests_per_node - 1))
+                        ),
+                        default=total,
+                    )
+                h = yield from cli.open(phase.path)
+                yield from cli.write(h, max(total, high))
+                yield from cli.close(h)
+            ctx.tracer.resume()
+        yield ctx.gsync()
+        yield from _workload_rank(ctx, rank, workload)
+
+    return run_application(
+        rank_process,
+        n_nodes=workload.n_nodes,
+        application="synthetic",
+        version=workload.name,
+        dataset="synthetic",
+        machine_config=machine_config,
+        costs=costs,
+        seed=seed,
+    )

@@ -1,0 +1,220 @@
+"""An IOR-style parallel I/O microbenchmark on the simulated PFS.
+
+IOR is the modern open-source descendant of the benchmark suites the
+paper's conclusion calls for.  This module implements its core
+parameter space on the simulated machine:
+
+- ``block_size`` — contiguous bytes per rank per segment;
+- ``transfer_size`` — bytes per I/O call;
+- ``segments`` — repetitions of the per-rank block;
+- ``file_per_process`` vs. a single shared file;
+- access mode (PFS access mode to exercise);
+- write phase, then optional read-back phase.
+
+Results are reported as aggregate bandwidth, exactly as IOR prints
+them, so the simulated PFS can be characterized the modern way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.apps.base import AppContext, run_application
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig
+from repro.pablo import IOOp
+from repro.pfs import PFSCostModel
+from repro.pfs.modes import AccessMode
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class IORConfig:
+    """IOR-equivalent parameters (names follow IOR's flags)."""
+
+    n_nodes: int = 8
+    block_size: int = 1 * MB          # -b
+    transfer_size: int = 256 * KB     # -t
+    segments: int = 1                 # -s
+    file_per_process: bool = False    # -F
+    mode: AccessMode = AccessMode.M_ASYNC
+    do_write: bool = True             # -w
+    do_read: bool = True              # -r
+    path: str = "/pfs/ior/testfile"
+
+    def validate(self) -> None:
+        if self.n_nodes < 1:
+            raise WorkloadError("need >= 1 node")
+        if self.transfer_size < 1 or self.block_size < self.transfer_size:
+            raise WorkloadError(
+                "need transfer_size >= 1 and block_size >= transfer_size"
+            )
+        if self.block_size % self.transfer_size != 0:
+            raise WorkloadError(
+                "block_size must be a multiple of transfer_size"
+            )
+        if self.segments < 1:
+            raise WorkloadError("need >= 1 segment")
+        if not self.do_write and not self.do_read:
+            raise WorkloadError("enable at least one of write/read")
+        if self.mode not in (
+            AccessMode.M_UNIX, AccessMode.M_ASYNC, AccessMode.M_RECORD
+        ):
+            raise WorkloadError(
+                f"IOR-style offsets are undefined under {self.mode}; use "
+                "M_UNIX, M_ASYNC or M_RECORD"
+            )
+        if self.mode == AccessMode.M_RECORD and self.file_per_process:
+            raise WorkloadError(
+                "M_RECORD is a shared-file coordination mode"
+            )
+
+    @property
+    def transfers_per_block(self) -> int:
+        return self.block_size // self.transfer_size
+
+    @property
+    def aggregate_bytes(self) -> int:
+        return self.n_nodes * self.block_size * self.segments
+
+
+@dataclass
+class IORResult:
+    """Bandwidths in bytes/second, IOR-style."""
+
+    config: IORConfig
+    write_bandwidth: float
+    read_bandwidth: float
+    write_time: float
+    read_time: float
+
+    def summary(self) -> str:
+        cfg = self.config
+        lines = [
+            f"IOR-style: {cfg.n_nodes} ranks, b={cfg.block_size}, "
+            f"t={cfg.transfer_size}, s={cfg.segments}, "
+            f"{'file-per-process' if cfg.file_per_process else 'shared file'}, "
+            f"{cfg.mode}",
+        ]
+        if self.config.do_write:
+            lines.append(
+                f"  write: {self.write_bandwidth / MB:8.2f} MB/s "
+                f"({self.write_time:.3f}s)"
+            )
+        if self.config.do_read:
+            lines.append(
+                f"  read:  {self.read_bandwidth / MB:8.2f} MB/s "
+                f"({self.read_time:.3f}s)"
+            )
+        return "\n".join(lines)
+
+
+def _rank_offset(cfg: IORConfig, rank: int, segment: int) -> int:
+    if cfg.file_per_process:
+        return segment * cfg.block_size
+    # IOR's shared-file segmented layout: segment-major, rank-minor.
+    return (segment * cfg.n_nodes + rank) * cfg.block_size
+
+
+def run_ior(
+    config: IORConfig,
+    machine_config: Optional[MachineConfig] = None,
+    costs: Optional[PFSCostModel] = None,
+    seed: int = 0,
+) -> IORResult:
+    """Run the benchmark; returns IOR-style aggregate bandwidths."""
+    config.validate()
+    timings: Dict[str, float] = {}
+
+    def rank_process(ctx: AppContext, rank: int) -> Generator:
+        cli = ctx.client(rank)
+        path = (
+            f"{config.path}.{rank}" if config.file_per_process
+            else config.path
+        )
+        group = [rank] if config.file_per_process else list(ctx.ranks)
+
+        def open_handle():
+            return cli.gopen(path, group=group, mode=config.mode)
+
+        # Read-only benchmarks need existing data; materialize it
+        # untraced (it is setup, not measured behaviour).
+        if config.do_read and not config.do_write:
+            ctx.tracer.pause()
+            handle = yield from cli.gopen(path, group=group)
+            if rank == 0 or config.file_per_process:
+                total = (
+                    config.block_size * config.segments
+                    * (1 if config.file_per_process else config.n_nodes)
+                )
+                yield from cli.write(handle, total)
+            yield from cli.close(handle)
+            ctx.tracer.resume()
+
+        # ---- write phase -------------------------------------------------
+        if config.do_write:
+            cli.phase = "ior-write"
+            handle = yield from open_handle()
+            yield ctx.gsync()
+            start = ctx.env.now
+            for segment in range(config.segments):
+                base = _rank_offset(config, rank, segment)
+                yield from cli.seek(handle, base)
+                for _ in range(config.transfers_per_block):
+                    yield from cli.write(handle, config.transfer_size)
+            yield from cli.flush(handle)
+            yield ctx.gsync()
+            timings["write_end"] = ctx.env.now
+            timings.setdefault("write_start", start)
+            timings["write_start"] = min(timings["write_start"], start)
+            yield from cli.close(handle)
+
+        # ---- read phase -----------------------------------------------------
+        if config.do_read:
+            cli.phase = "ior-read"
+            handle = yield from open_handle()
+            yield ctx.gsync()
+            start = ctx.env.now
+            for segment in range(config.segments):
+                # IOR -C style: read a neighbour's block to defeat
+                # locality (meaningless for file-per-process).
+                reader = (
+                    rank if config.file_per_process
+                    else (rank + 1) % config.n_nodes
+                )
+                base = _rank_offset(config, reader, segment)
+                yield from cli.seek(handle, base)
+                for _ in range(config.transfers_per_block):
+                    yield from cli.read(handle, config.transfer_size)
+            yield ctx.gsync()
+            timings["read_end"] = ctx.env.now
+            timings.setdefault("read_start", start)
+            timings["read_start"] = min(timings["read_start"], start)
+            yield from cli.close(handle)
+
+    run_application(
+        rank_process,
+        n_nodes=config.n_nodes,
+        application="IOR",
+        version="ior",
+        dataset=f"b{config.block_size}-t{config.transfer_size}",
+        machine_config=machine_config,
+        costs=costs,
+        seed=seed,
+    )
+
+    write_time = max(
+        1e-12, timings.get("write_end", 0.0) - timings.get("write_start", 0.0)
+    )
+    read_time = max(
+        1e-12, timings.get("read_end", 0.0) - timings.get("read_start", 0.0)
+    )
+    agg = config.aggregate_bytes
+    return IORResult(
+        config=config,
+        write_bandwidth=agg / write_time if config.do_write else 0.0,
+        read_bandwidth=agg / read_time if config.do_read else 0.0,
+        write_time=write_time if config.do_write else 0.0,
+        read_time=read_time if config.do_read else 0.0,
+    )

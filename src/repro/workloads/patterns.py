@@ -1,0 +1,113 @@
+"""Access patterns: who touches which bytes of a shared file.
+
+A pattern maps ``(rank, request_index)`` to a file offset, given a
+request size and node count.  These are the spatial shapes the
+characterization literature (Kotz & Nieuwejaar; Purakayastha et al.;
+this paper) found in parallel scientific codes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class AccessPattern(ABC):
+    """Maps (rank, index) -> offset for fixed-size requests."""
+
+    @abstractmethod
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        """File offset of ``rank``'s ``index``-th request."""
+
+    def total_bytes(self, requests_per_node: int, request_size: int,
+                    n_nodes: int) -> int:
+        """Distinct bytes the full pattern touches (upper bound)."""
+        return requests_per_node * request_size * n_nodes
+
+    def validate(self, request_size: int, n_nodes: int) -> None:
+        if request_size < 1:
+            raise WorkloadError(f"request size must be >= 1, got {request_size}")
+        if n_nodes < 1:
+            raise WorkloadError(f"need >= 1 node, got {n_nodes}")
+
+
+@dataclass(frozen=True)
+class SequentialPattern(AccessPattern):
+    """Each node streams through its own contiguous partition —
+    the classic segmented layout."""
+
+    requests_per_node: int = 0  # set by the generator
+
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        self.validate(request_size, n_nodes)
+        if self.requests_per_node <= 0:
+            raise WorkloadError("SequentialPattern needs requests_per_node")
+        partition = self.requests_per_node * request_size
+        return rank * partition + index * request_size
+
+
+@dataclass(frozen=True)
+class StridedPattern(AccessPattern):
+    """Round-robin interleave: request i of rank r is block
+    ``i * n_nodes + r`` — the distributed-matrix row pattern."""
+
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        self.validate(request_size, n_nodes)
+        return (index * n_nodes + rank) * request_size
+
+
+@dataclass(frozen=True)
+class PartitionedPattern(AccessPattern):
+    """Like sequential but with an explicit partition size, allowing
+    holes between partitions (ghost-cell layouts)."""
+
+    partition_bytes: int = 0
+
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        self.validate(request_size, n_nodes)
+        if self.partition_bytes < request_size:
+            raise WorkloadError("partition smaller than one request")
+        return rank * self.partition_bytes + index * request_size
+
+
+@dataclass(frozen=True)
+class SharedReadPattern(AccessPattern):
+    """Every node reads the same bytes (compulsory input): request i
+    is block i for all ranks — the pattern M_GLOBAL exists for."""
+
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        self.validate(request_size, n_nodes)
+        return index * request_size
+
+    def total_bytes(self, requests_per_node: int, request_size: int,
+                    n_nodes: int) -> int:
+        return requests_per_node * request_size
+
+
+@dataclass(frozen=True)
+class RandomPattern(AccessPattern):
+    """Uniformly random block accesses over a file (index-stable:
+    the same (rank, index) always maps to the same offset)."""
+
+    file_blocks: int = 1024
+    seed: int = 0
+
+    def offset(self, rank: int, index: int, request_size: int,
+               n_nodes: int) -> int:
+        self.validate(request_size, n_nodes)
+        if self.file_blocks < 1:
+            raise WorkloadError("need >= 1 file block")
+        # Stateless hash-based placement for reproducibility.
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + rank) * 1_000_003 + index
+        )
+        return int(rng.integers(0, self.file_blocks)) * request_size

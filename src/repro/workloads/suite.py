@@ -1,0 +1,174 @@
+"""The derived parallel-I/O benchmark suite.
+
+Section 7: "From these characterizations, a comprehensive set of
+parallel file system I/O benchmarks will be derived."  Each entry
+isolates one behaviour the study observed, so file-system changes can
+be evaluated against exactly the patterns that hurt (or helped) the
+real applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.pfs.modes import AccessMode
+from repro.units import KB
+from repro.workloads.generator import SyntheticWorkload, WorkloadPhase
+from repro.workloads.patterns import (
+    PartitionedPattern,
+    RandomPattern,
+    SequentialPattern,
+    SharedReadPattern,
+    StridedPattern,
+)
+
+
+def _wl(name: str, n_nodes: int, *phases: WorkloadPhase) -> SyntheticWorkload:
+    wl = SyntheticWorkload(name=name, n_nodes=n_nodes, phases=tuple(phases))
+    wl.validate()
+    return wl
+
+
+def build_suite(n_nodes: int = 16) -> Dict[str, SyntheticWorkload]:
+    """The benchmark suite, parameterized by node count."""
+    if n_nodes < 2:
+        raise WorkloadError("suite needs >= 2 nodes")
+    return {
+        # ESCAT-A's phase one: every node reads the same input file
+        # under the serializing default mode.
+        "compulsory-shared-read": _wl(
+            "compulsory-shared-read", n_nodes,
+            WorkloadPhase(
+                name="input", kind="read", path="/pfs/bench/input",
+                pattern=SharedReadPattern(), request_size=1 * KB,
+                requests_per_node=200, mode=AccessMode.M_UNIX,
+            ),
+        ),
+        # The same pattern under M_GLOBAL: the aggregated alternative.
+        "compulsory-global-read": _wl(
+            "compulsory-global-read", n_nodes,
+            WorkloadPhase(
+                name="input", kind="read", path="/pfs/bench/input",
+                pattern=SharedReadPattern(), request_size=1 * KB,
+                requests_per_node=200, mode=AccessMode.M_GLOBAL,
+                use_gopen=True,
+            ),
+        ),
+        # ESCAT-B's phase two: scattered small writes with per-write
+        # seeks under M_UNIX.
+        "staging-small-strided-write": _wl(
+            "staging-small-strided-write", n_nodes,
+            WorkloadPhase(
+                name="staging", kind="write", path="/pfs/bench/stage",
+                pattern=StridedPattern(), request_size=2 * KB,
+                requests_per_node=100, mode=AccessMode.M_UNIX,
+                use_gopen=True, think_time=0.02, sync_every=10,
+            ),
+        ),
+        # ESCAT-C's phase two: the same traffic under M_ASYNC.
+        "staging-small-async-write": _wl(
+            "staging-small-async-write", n_nodes,
+            WorkloadPhase(
+                name="staging", kind="write", path="/pfs/bench/stage",
+                pattern=StridedPattern(), request_size=2 * KB,
+                requests_per_node=100, mode=AccessMode.M_ASYNC,
+                use_gopen=True, think_time=0.02, sync_every=10,
+            ),
+        ),
+        # ESCAT-C's phase three: stripe-multiple records, node order.
+        "reload-record-read": _wl(
+            "reload-record-read", n_nodes,
+            WorkloadPhase(
+                name="reload", kind="read", path="/pfs/bench/stage2",
+                pattern=StridedPattern(), request_size=128 * KB,
+                requests_per_node=16, mode=AccessMode.M_RECORD,
+                use_gopen=True,
+            ),
+        ),
+        # PRISM-C's pathology: tiny unbuffered reads.
+        "unbuffered-small-read": _wl(
+            "unbuffered-small-read", n_nodes,
+            WorkloadPhase(
+                name="header", kind="read", path="/pfs/bench/header",
+                pattern=SharedReadPattern(), request_size=40,
+                requests_per_node=50, mode=AccessMode.M_ASYNC,
+                use_gopen=True, buffered=False,
+            ),
+        ),
+        # PRISM's phase three: partitioned large writes, all nodes.
+        "partitioned-large-write": _wl(
+            "partitioned-large-write", n_nodes,
+            WorkloadPhase(
+                name="field", kind="write", path="/pfs/bench/field",
+                pattern=PartitionedPattern(partition_bytes=4 * 155584),
+                request_size=155584, requests_per_node=4,
+                mode=AccessMode.M_ASYNC, use_gopen=True,
+            ),
+        ),
+        # Sequential streaming per node (the friendly baseline).
+        "segmented-sequential-read": _wl(
+            "segmented-sequential-read", n_nodes,
+            WorkloadPhase(
+                name="stream", kind="read", path="/pfs/bench/seg",
+                pattern=SequentialPattern(), request_size=64 * KB,
+                requests_per_node=32, mode=AccessMode.M_ASYNC,
+                use_gopen=True,
+            ),
+        ),
+        # Random small access: the worst case for every policy.
+        "random-small-read": _wl(
+            "random-small-read", n_nodes,
+            WorkloadPhase(
+                name="random", kind="read", path="/pfs/bench/rand",
+                pattern=RandomPattern(file_blocks=512, seed=11),
+                request_size=4 * KB, requests_per_node=64,
+                mode=AccessMode.M_ASYNC, use_gopen=True,
+            ),
+        ),
+        # Variable-size node-ordered writes (M_SYNC's niche).
+        "sync-variable-write": _wl(
+            "sync-variable-write", n_nodes,
+            WorkloadPhase(
+                name="sync", kind="write", path="/pfs/bench/sync",
+                pattern=SequentialPattern(), request_size=3 * KB,
+                requests_per_node=20, mode=AccessMode.M_SYNC,
+                use_gopen=True,
+            ),
+        ),
+        # FCFS shared-pointer appends (M_LOG: stdout-style logging).
+        "log-append": _wl(
+            "log-append", n_nodes,
+            WorkloadPhase(
+                name="log", kind="write", path="/pfs/bench/stdout",
+                pattern=SequentialPattern(), request_size=200,
+                requests_per_node=25, mode=AccessMode.M_LOG,
+                use_gopen=True, think_time=0.01,
+            ),
+        ),
+        # Checkpoint structure: bursts of writes between compute.
+        "checkpoint-bursts": _wl(
+            "checkpoint-bursts", n_nodes,
+            WorkloadPhase(
+                name="checkpoint", kind="write", path="/pfs/bench/ckpt",
+                pattern=SequentialPattern(), request_size=64 * KB,
+                requests_per_node=20, mode=AccessMode.M_ASYNC,
+                use_gopen=True, think_time=0.5, sync_every=5,
+            ),
+        ),
+    }
+
+
+#: The default 16-node instantiation.
+BENCHMARK_SUITE: Dict[str, SyntheticWorkload] = build_suite()
+
+
+def benchmark_by_name(name: str, n_nodes: int = 16) -> SyntheticWorkload:
+    """Fetch one suite entry, rebuilt for ``n_nodes``."""
+    suite = build_suite(n_nodes)
+    wl = suite.get(name)
+    if wl is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; available: {sorted(suite)}"
+        )
+    return wl

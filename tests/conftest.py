@@ -1,0 +1,41 @@
+"""Shared fixtures: a small simulated machine + PFS for fast tests."""
+
+import pytest
+
+from repro.machine import DiskConfig, MachineConfig, NetworkConfig, ParagonXPS
+from repro.pablo import Tracer
+from repro.pfs import PFS, PFSCostModel
+from repro.sim import Engine
+from repro.units import KB
+
+
+@pytest.fixture
+def small_world():
+    """An 16-node machine with 4 I/O nodes and a traced PFS.
+
+    Returns (engine, machine, pfs, tracer).
+    """
+    eng = Engine()
+    config = MachineConfig(
+        mesh_cols=4,
+        mesh_rows=4,
+        n_compute_nodes=16,
+        n_io_nodes=4,
+        stripe_size=64 * KB,
+        network=NetworkConfig(),
+        disk=DiskConfig(),
+    )
+    machine = ParagonXPS(eng, config)
+    tracer = Tracer()
+    pfs = PFS(eng, machine, tracer=tracer)
+    return eng, machine, pfs, tracer
+
+
+def run_procs(eng, *generators):
+    """Start each generator as a process and run to completion.
+
+    Returns the processes (their ``.value`` holds return values).
+    """
+    procs = [eng.process(g) for g in generators]
+    eng.run()
+    return procs

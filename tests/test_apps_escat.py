@@ -1,0 +1,170 @@
+"""Integration tests for the ESCAT workload model (miniature scale)."""
+
+import pytest
+
+from repro.apps import run_escat, scaled_escat_problem
+from repro.apps.escat.app import PHASE1, PHASE2, PHASE3, PHASE4
+from repro.apps.escat.versions import ESCAT_PROGRESSIONS, ESCAT_VERSIONS
+from repro.core import io_time_breakdown
+from repro.errors import WorkloadError
+from repro.pablo import IOOp
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def runs():
+    problem = scaled_escat_problem(n_nodes=8, records_per_channel=16)
+    return {v: run_escat(v, problem) for v in ("A", "B", "C")}, problem
+
+
+def test_all_versions_complete(runs):
+    results, _ = runs
+    for v, r in results.items():
+        assert r.wall_time > 0
+        assert len(r.trace) > 0
+        assert r.version == v
+        assert r.n_nodes == 8
+
+
+def test_four_phases_present(runs):
+    results, _ = runs
+    for r in results.values():
+        phases = {e.phase for e in r.trace.events}
+        assert {PHASE1, PHASE2, PHASE3, PHASE4} <= phases
+
+
+def test_phase_ordering_in_time(runs):
+    results, _ = runs
+    for r in results.values():
+        starts = {}
+        for phase in (PHASE1, PHASE2, PHASE3, PHASE4):
+            sub = r.trace.by_phase(phase)
+            starts[phase] = min(e.start for e in sub.events)
+        assert starts[PHASE1] < starts[PHASE2] < starts[PHASE3] < starts[PHASE4]
+
+
+def test_version_a_node_participation(runs):
+    results, _ = runs
+    trace = results["A"].trace
+    # Phase one: all nodes read.
+    p1_readers = {e.node for e in trace.by_phase(PHASE1).by_op(IOOp.READ).events}
+    assert len(p1_readers) == 8
+    # Phases two-four: node zero only.
+    for phase in (PHASE2, PHASE3, PHASE4):
+        actors = {
+            e.node for e in trace.by_phase(phase).events
+            if e.op in (IOOp.READ, IOOp.WRITE)
+        }
+        assert actors == {0}
+
+
+def test_version_c_node_participation(runs):
+    results, _ = runs
+    trace = results["C"].trace
+    # Phase one: node zero reads, then broadcasts.
+    p1_readers = {e.node for e in trace.by_phase(PHASE1).by_op(IOOp.READ).events}
+    assert p1_readers == {0}
+    # Phases two and three: every node does I/O.
+    for phase in (PHASE2, PHASE3):
+        actors = {
+            e.node for e in trace.by_phase(phase).events
+            if e.op in (IOOp.READ, IOOp.WRITE)
+        }
+        assert len(actors) == 8
+
+
+def test_version_modes_match_table1(runs):
+    results, _ = runs
+    modes = lambda r, phase, op: {
+        e.mode for e in r.trace.by_phase(phase).by_op(op).events
+    }
+    assert modes(results["A"], PHASE2, IOOp.WRITE) == {"M_UNIX"}
+    assert modes(results["B"], PHASE2, IOOp.WRITE) == {"M_UNIX"}
+    assert modes(results["C"], PHASE2, IOOp.WRITE) == {"M_ASYNC"}
+    assert modes(results["B"], PHASE3, IOOp.READ) == {"M_RECORD"}
+    assert modes(results["C"], PHASE3, IOOp.READ) == {"M_RECORD"}
+
+
+def test_staging_volume_conservation(runs):
+    """Every byte staged in phase two is re-read in phase three."""
+    results, problem = runs
+    for v, r in results.items():
+        written = sum(
+            e.nbytes for e in r.trace.by_phase(PHASE2).by_op(IOOp.WRITE).events
+        )
+        read = sum(
+            e.nbytes for e in r.trace.by_phase(PHASE3).by_op(IOOp.READ).events
+        )
+        assert written == problem.quadrature_bytes
+        assert read >= problem.quadrature_bytes  # re-read per energy
+
+
+def test_record_reads_are_stripe_multiples(runs):
+    results, problem = runs
+    for v in ("B", "C"):
+        sizes = {
+            e.nbytes
+            for e in results[v].trace.by_phase(PHASE3).by_op(IOOp.READ).events
+        }
+        assert sizes == {problem.record_size}
+        assert problem.record_size % (64 * KB) == 0
+
+
+def test_gopen_only_in_optimized_versions(runs):
+    results, _ = runs
+    assert len(results["A"].trace.by_op(IOOp.GOPEN)) == 0
+    for v in ("B", "C"):
+        assert len(results[v].trace.by_op(IOOp.GOPEN)) > 0
+
+
+def test_seek_time_collapse_b_to_c(runs):
+    """The M_ASYNC transition kills seek time even at mini scale."""
+    results, _ = runs
+    b = io_time_breakdown(results["B"].trace)
+    c = io_time_breakdown(results["C"].trace)
+    assert b.totals[IOOp.SEEK] > 50 * c.totals.get(IOOp.SEEK, 1e-9)
+
+
+def test_deterministic_given_seed():
+    problem = scaled_escat_problem(n_nodes=4, records_per_channel=8)
+    r1 = run_escat("B", problem, seed=7)
+    r2 = run_escat("B", problem, seed=7)
+    assert r1.wall_time == r2.wall_time
+    assert len(r1.trace) == len(r2.trace)
+    for a, b in zip(r1.trace.events, r2.trace.events):
+        assert (a.start, a.duration, a.node, a.op) == (
+            b.start, b.duration, b.node, b.op)
+
+
+def test_different_seeds_differ():
+    problem = scaled_escat_problem(n_nodes=4, records_per_channel=8)
+    r1 = run_escat("B", problem, seed=1)
+    r2 = run_escat("B", problem, seed=2)
+    assert r1.wall_time != r2.wall_time
+
+
+def test_unknown_version_rejected():
+    problem = scaled_escat_problem(n_nodes=4, records_per_channel=8)
+    with pytest.raises(WorkloadError):
+        run_escat("Z", problem)
+
+
+def test_invalid_problem_rejected():
+    with pytest.raises(WorkloadError):
+        scaled_escat_problem(n_nodes=7, records_per_channel=16).validate()
+
+
+def test_progressions_cover_six_builds():
+    names = [v.name for v in ESCAT_PROGRESSIONS]
+    assert len(names) == 6
+    assert names[0] == "A" and names[-1] == "C"
+    assert set(ESCAT_VERSIONS) == {"A", "B", "C"}
+
+
+def test_trace_metadata(runs):
+    results, problem = runs
+    r = results["B"]
+    assert r.trace.meta.application == "ESCAT"
+    assert r.trace.meta.version == "B"
+    assert r.trace.meta.nodes == 8
+    assert r.trace.meta.os_release == "OSF/1 R1.2"

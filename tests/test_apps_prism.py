@@ -1,0 +1,161 @@
+"""Integration tests for the PRISM workload model (miniature scale)."""
+
+import pytest
+
+from repro.apps import run_prism, scaled_prism_problem
+from repro.apps.prism.app import PHASE1, PHASE2, PHASE3
+from repro.core import io_time_breakdown, operation_timeline
+from repro.errors import WorkloadError
+from repro.pablo import IOOp
+
+
+@pytest.fixture(scope="module")
+def runs():
+    problem = scaled_prism_problem(n_nodes=8, steps=20, checkpoint_every=5)
+    return {v: run_prism(v, problem) for v in ("A", "B", "C")}, problem
+
+
+def test_all_versions_complete(runs):
+    results, _ = runs
+    for v, r in results.items():
+        assert r.wall_time > 0 and len(r.trace) > 0
+        assert r.application == "PRISM"
+
+
+def test_three_phases_present(runs):
+    results, _ = runs
+    for r in results.values():
+        phases = {e.phase for e in r.trace.events}
+        assert {PHASE1, PHASE2, PHASE3} <= phases
+
+
+def test_phase2_is_node_zero_everywhere(runs):
+    results, _ = runs
+    for r in results.values():
+        writers = {
+            e.node for e in r.trace.by_phase(PHASE2).by_op(IOOp.WRITE).events
+        }
+        assert writers == {0}
+
+
+def test_phase3_participation_by_version(runs):
+    results, _ = runs
+    a_writers = {
+        e.node
+        for e in results["A"].trace.by_phase(PHASE3).by_op(IOOp.WRITE).events
+    }
+    assert a_writers == {0}
+    for v in ("B", "C"):
+        writers = {
+            e.node
+            for e in results[v].trace.by_phase(PHASE3).by_op(IOOp.WRITE).events
+        }
+        assert len(writers) == 8
+        modes = {
+            e.mode
+            for e in results[v].trace.by_phase(PHASE3).by_op(IOOp.WRITE).events
+        }
+        assert modes == {"M_ASYNC"}
+
+
+def test_input_modes_by_version(runs):
+    results, _ = runs
+    rea = lambda r: {
+        e.mode for e in r.trace.by_op(IOOp.READ).events
+        if e.path.endswith("prism.rea")
+    }
+    assert rea(results["A"]) == {"M_UNIX"}
+    assert rea(results["B"]) == {"M_GLOBAL"}
+    assert rea(results["C"]) == {"M_GLOBAL"}
+    rst = lambda r: {
+        e.mode for e in r.trace.by_op(IOOp.READ).events
+        if e.path.endswith("prism.rst")
+    }
+    assert rst(results["B"]) == {"M_GLOBAL", "M_RECORD"}
+    assert rst(results["C"]) == {"M_ASYNC"}
+
+
+def test_connectivity_binary_reduces_reads(runs):
+    results, problem = runs
+    cnn_reads = lambda r: [
+        e for e in r.trace.by_op(IOOp.READ).events
+        if e.path.endswith("prism.cnn")
+    ]
+    a_count = len(cnn_reads(results["A"])) // 8  # per node
+    c_count = len(cnn_reads(results["C"])) // 8
+    assert a_count == problem.cnn_text_reads
+    assert c_count == problem.cnn_binary_reads
+    assert c_count < a_count
+
+
+def test_checkpoint_count(runs):
+    results, problem = runs
+    for r in results.values():
+        chk = r.trace.select(
+            lambda e: e.op == IOOp.WRITE and "chk" in e.path
+        )
+        ts = operation_timeline(chk, IOOp.WRITE)
+        bursts = ts.active_intervals(gap=r.wall_time * 0.05)
+        assert len(bursts) == problem.n_checkpoints
+
+
+def test_measurement_written_every_step(runs):
+    results, problem = runs
+    for r in results.values():
+        mea = [
+            e for e in r.trace.by_op(IOOp.WRITE).events
+            if e.path.endswith("prism.mea")
+        ]
+        assert len(mea) == problem.steps
+
+
+def test_iomode_only_in_b(runs):
+    results, _ = runs
+    assert len(results["A"].trace.by_op(IOOp.IOMODE)) == 0
+    assert len(results["B"].trace.by_op(IOOp.IOMODE)) > 0
+    assert len(results["C"].trace.by_op(IOOp.IOMODE)) == 0  # gopen sets it
+
+
+def test_gopen_only_in_c(runs):
+    results, _ = runs
+    assert len(results["A"].trace.by_op(IOOp.GOPEN)) == 0
+    assert len(results["B"].trace.by_op(IOOp.GOPEN)) == 0
+    assert len(results["C"].trace.by_op(IOOp.GOPEN)) > 0
+
+
+def test_unbuffered_header_reads_slower_in_c(runs):
+    """Version C's tiny restart-header reads cost more per byte."""
+    results, _ = runs
+    def header_read_time(r):
+        evs = [
+            e for e in r.trace.by_op(IOOp.READ).events
+            if e.path.endswith("prism.rst") and e.nbytes <= 40
+        ]
+        return sum(e.duration for e in evs) / max(1, len(evs))
+
+    assert header_read_time(results["C"]) > header_read_time(results["B"])
+
+
+def test_restart_body_fully_read(runs):
+    results, problem = runs
+    for r in results.values():
+        body_bytes = sum(
+            e.nbytes for e in r.trace.by_op(IOOp.READ).events
+            if e.path.endswith("prism.rst")
+            and e.nbytes == problem.rst_body_read_size
+        )
+        assert body_bytes == problem.rst_body_bytes
+
+
+def test_deterministic(runs):
+    problem = scaled_prism_problem(n_nodes=4, steps=10, checkpoint_every=5)
+    r1 = run_prism("C", problem, seed=3)
+    r2 = run_prism("C", problem, seed=3)
+    assert r1.wall_time == r2.wall_time
+    assert len(r1.trace) == len(r2.trace)
+
+
+def test_unknown_version_rejected():
+    problem = scaled_prism_problem(n_nodes=4)
+    with pytest.raises(WorkloadError):
+        run_prism("X", problem)

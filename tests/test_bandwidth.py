@@ -1,0 +1,79 @@
+"""Tests for the achieved-transfer-rate analysis."""
+
+import pytest
+
+from repro.apps import run_escat, scaled_escat_problem
+from repro.core.bandwidth import (
+    phase_bandwidth,
+    render_rates,
+    transfer_rates,
+)
+from repro.errors import AnalysisError
+from repro.pablo import IOEvent, IOOp, Trace
+from repro.units import KB
+
+
+def ev(op=IOOp.READ, nbytes=100, duration=0.01, start=0.0, mode="M_UNIX",
+       phase="p"):
+    return IOEvent(node=0, op=op, path="/f", start=start,
+                   duration=duration, nbytes=nbytes, offset=0,
+                   mode=mode, phase=phase)
+
+
+def test_transfer_rates_grouping():
+    trace = Trace([
+        ev(nbytes=100, duration=0.01),            # small M_UNIX read
+        ev(nbytes=100, duration=0.01, start=1.0),
+        ev(nbytes=128 * KB, duration=0.01, start=2.0, mode="M_RECORD"),
+    ])
+    cells = transfer_rates(trace)
+    assert len(cells) == 2
+    by_key = {(c.mode, c.size_class): c for c in cells}
+    small = by_key[("M_UNIX", "small (<2K)")]
+    assert small.requests == 2 and small.bytes == 200
+    large = by_key[("M_RECORD", "large (>=64K)")]
+    assert large.rate > 100 * small.rate
+
+
+def test_transfer_rates_ignore_metadata_ops():
+    trace = Trace([ev(op=IOOp.OPEN, nbytes=0), ev(op=IOOp.SEEK, nbytes=0)])
+    assert transfer_rates(trace) == []
+
+
+def test_phase_bandwidth():
+    trace = Trace([
+        ev(op=IOOp.WRITE, nbytes=1000, start=0.0, duration=1.0, phase="a"),
+        ev(op=IOOp.WRITE, nbytes=1000, start=9.0, duration=1.0, phase="a"),
+        ev(op=IOOp.READ, nbytes=500, start=20.0, duration=0.5, phase="b"),
+    ])
+    bw = phase_bandwidth(trace)
+    assert bw["a"]["write_bw"] == pytest.approx(200.0)  # 2000B / 10s
+    assert bw["a"]["read_bw"] == 0.0
+    assert bw["b"]["read_bw"] == pytest.approx(1000.0)
+
+
+def test_render_rates_output():
+    trace = Trace([ev(nbytes=128 * KB, mode="M_RECORD")])
+    text = render_rates(transfer_rates(trace))
+    assert "M_RECORD" in text and "MB/s" in text
+
+
+def test_render_rates_empty_rejected():
+    with pytest.raises(AnalysisError):
+        render_rates([])
+
+
+def test_paper_claim_stripe_multiples_fast_small_slow():
+    """Section 6's transfer-rate asymmetry from a real run."""
+    result = run_escat(
+        "B", scaled_escat_problem(n_nodes=8, records_per_channel=16)
+    )
+    cells = {
+        (c.mode, c.size_class, c.op): c
+        for c in transfer_rates(result.trace)
+    }
+    record_reads = cells[("M_RECORD", "large (>=64K)", IOOp.READ)]
+    small_writes = cells[("M_UNIX", "small (<2K)", IOOp.WRITE)]
+    # Stripe-multiple M_RECORD reads achieve orders of magnitude more
+    # application-visible bandwidth than small shared-file writes.
+    assert record_reads.rate > 50 * small_writes.rate

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import clear_cache
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "figure9" in out
+
+
+def test_run_command_fast(capsys):
+    clear_cache()
+    assert main(["run", "table4", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out and "M_GLOBAL" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "tableX"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_trace_command_writes_sddf(tmp_path, capsys):
+    clear_cache()
+    out_path = tmp_path / "prism-c.sddf"
+    assert main(["trace", "prism", "C", str(out_path), "--fast"]) == 0
+    from repro.pablo import read_sddf
+
+    trace = read_sddf(out_path)
+    assert len(trace) > 0
+    assert trace.meta.application == "PRISM"
+    assert trace.meta.version == "C"
+
+
+def test_parser_rejects_bad_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bogus"])
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_counters_command(capsys):
+    clear_cache()
+    assert main(["counters", "escat", "C", "--fast", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "file:" in out and "common access sizes" in out
+
+
+def test_suite_command_smoke(capsys):
+    assert main(["suite", "--nodes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "compulsory-shared-read" in out
+
+
+def test_rates_command(capsys):
+    clear_cache()
+    assert main(["rates", "escat", "B", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "M_RECORD" in out and "MB/s" in out

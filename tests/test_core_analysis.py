@@ -1,0 +1,346 @@
+"""Unit tests for the characterization analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    burstiness,
+    classify_phases,
+    compare_versions,
+    concurrency_stats,
+    evaluate_principles,
+    execution_fraction,
+    io_time_breakdown,
+    operation_timeline,
+    phase_profile,
+    render_breakdown_table,
+    render_comparison,
+    request_classes,
+    request_size_cdf,
+)
+from repro.core.cdf import cdf_from_sizes
+from repro.core.evolution import VersionResult
+from repro.core.phases import CHECKPOINT, COMPULSORY, DATA_STAGING
+from repro.core.report import render_fraction_table, render_mode_table
+from repro.errors import AnalysisError
+from repro.pablo import IOEvent, IOOp, Trace, TraceMeta
+from repro.units import KB
+
+
+def ev(node=0, op=IOOp.READ, path="/f", start=0.0, duration=0.01,
+       nbytes=100, offset=0, mode="M_UNIX", phase=""):
+    return IOEvent(node=node, op=op, path=path, start=start,
+                   duration=duration, nbytes=nbytes, offset=offset,
+                   mode=mode, phase=phase)
+
+
+# ---------------------------------------------------------------- CDF
+def test_cdf_basic_fractions():
+    cdf = cdf_from_sizes([100] * 97 + [128 * KB] * 3)
+    assert cdf.fraction_of_requests_at_or_below(100) == pytest.approx(0.97)
+    # The 3 large requests carry almost all the data.
+    assert cdf.fraction_of_data_at_or_below(100) < 0.05
+    assert cdf.fraction_of_data_at_or_below(128 * KB) == pytest.approx(1.0)
+
+
+def test_cdf_monotone_and_normalized():
+    rng = np.random.default_rng(7)
+    sizes = rng.integers(1, 10**6, size=500)
+    cdf = cdf_from_sizes(sizes)
+    assert (np.diff(cdf.count_cdf) >= 0).all()
+    assert (np.diff(cdf.data_cdf) >= 0).all()
+    assert cdf.count_cdf[-1] == pytest.approx(1.0)
+    assert cdf.data_cdf[-1] == pytest.approx(1.0)
+
+
+def test_cdf_percentile_size():
+    cdf = cdf_from_sizes([10, 20, 30, 40])
+    assert cdf.percentile_size(0.5) == 20
+    assert cdf.percentile_size(1.0) == 40
+
+
+def test_cdf_below_smallest_is_zero():
+    cdf = cdf_from_sizes([100, 200])
+    assert cdf.fraction_of_requests_at_or_below(50) == 0.0
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(AnalysisError):
+        cdf_from_sizes([])
+
+
+def test_request_size_cdf_from_trace():
+    trace = Trace([ev(op=IOOp.READ, nbytes=10), ev(op=IOOp.WRITE, nbytes=99)])
+    cdf = request_size_cdf(trace, IOOp.READ)
+    assert cdf.n_requests == 1
+    with pytest.raises(AnalysisError):
+        request_size_cdf(trace, IOOp.SEEK)
+
+
+# ---------------------------------------------------------------- breakdown
+def test_breakdown_percentages_sum_to_100():
+    trace = Trace([
+        ev(op=IOOp.OPEN, duration=0.5),
+        ev(op=IOOp.READ, duration=0.3),
+        ev(op=IOOp.WRITE, duration=0.2),
+    ])
+    b = io_time_breakdown(trace)
+    assert b.percent(IOOp.OPEN) == pytest.approx(50.0)
+    assert sum(b.percent(op) for op in b.totals) == pytest.approx(100.0)
+    assert b.dominant_op() == IOOp.OPEN
+
+
+def test_breakdown_empty_dominant_raises():
+    with pytest.raises(AnalysisError):
+        io_time_breakdown(Trace([])).dominant_op()
+
+
+def test_execution_fraction_table3_semantics():
+    # 2 nodes, 10 s wall -> 20 node-seconds of execution.
+    trace = Trace(
+        [ev(op=IOOp.READ, duration=1.0), ev(op=IOOp.WRITE, duration=1.0)],
+        TraceMeta(nodes=2),
+    )
+    rows = execution_fraction(trace, wall_time=10.0)
+    assert rows["read"] == pytest.approx(5.0)
+    assert rows["All I/O"] == pytest.approx(10.0)
+
+
+def test_execution_fraction_needs_nodes():
+    trace = Trace([ev()])
+    with pytest.raises(AnalysisError):
+        execution_fraction(trace, wall_time=10.0)
+    rows = execution_fraction(trace, wall_time=10.0, n_nodes=4)
+    assert "All I/O" in rows
+
+
+# ---------------------------------------------------------------- temporal
+def test_timeline_extraction():
+    trace = Trace([
+        ev(op=IOOp.READ, start=1.0, nbytes=10),
+        ev(op=IOOp.READ, start=5.0, nbytes=20),
+        ev(op=IOOp.WRITE, start=2.0, nbytes=99),
+    ])
+    ts = operation_timeline(trace, IOOp.READ)
+    assert ts.times.tolist() == [1.0, 5.0]
+    assert ts.values.tolist() == [10.0, 20.0]
+    assert ts.span == pytest.approx(4.0)
+
+
+def test_timeline_duration_attribute():
+    trace = Trace([ev(op=IOOp.SEEK, duration=0.7, nbytes=0)])
+    ts = operation_timeline(trace, IOOp.SEEK, attribute="duration")
+    assert ts.values.tolist() == [0.7]
+
+
+def test_timeline_bursts():
+    times = [0.0, 0.1, 0.2, 10.0, 10.1, 20.0]
+    trace = Trace([ev(op=IOOp.WRITE, start=t) for t in times])
+    ts = operation_timeline(trace, IOOp.WRITE)
+    bursts = ts.active_intervals(gap=5.0)
+    assert len(bursts) == 3
+    assert bursts[0] == (0.0, 0.2)
+
+
+def test_timeline_within():
+    trace = Trace([ev(start=1.0), ev(start=3.0), ev(start=9.0)])
+    ts = operation_timeline(trace, IOOp.READ)
+    assert len(ts.within(0.0, 5.0)) == 2
+
+
+# ---------------------------------------------------------------- classify
+def test_request_classes_small_large():
+    trace = Trace(
+        [ev(op=IOOp.READ, nbytes=100)] * 97
+        + [ev(op=IOOp.READ, nbytes=128 * KB)] * 3
+    )
+    stats = request_classes(trace, IOOp.READ)
+    assert stats.small_count == 97
+    assert stats.large_count == 3
+    assert stats.small_count_fraction == pytest.approx(0.97)
+    assert stats.large_data_fraction > 0.97
+
+
+def test_request_classes_empty():
+    stats = request_classes(Trace([]), IOOp.READ)
+    assert stats.total_count == 0
+    assert stats.small_count_fraction == 0.0
+
+
+def test_concurrency_serial_vs_parallel():
+    serial = Trace([
+        ev(node=0, start=0.0, duration=1.0),
+        ev(node=0, start=1.0, duration=1.0),
+    ])
+    s = concurrency_stats(serial)
+    assert s.peak_concurrency == 1
+    assert s.coordinator_share == 1.0
+
+    parallel = Trace([
+        ev(node=i, start=0.0, duration=1.0) for i in range(4)
+    ])
+    p = concurrency_stats(parallel)
+    assert p.peak_concurrency == 4
+    assert p.active_nodes == 4
+    assert p.coordinator_share == pytest.approx(0.25)
+
+
+def test_burstiness_uniform_vs_bursty():
+    uniform = Trace([ev(op=IOOp.WRITE, start=float(i)) for i in range(100)])
+    bursty = Trace(
+        [ev(op=IOOp.WRITE, start=0.001 * i) for i in range(50)]
+        + [ev(op=IOOp.WRITE, start=99.0 + 0.001 * i) for i in range(50)]
+    )
+    assert burstiness(bursty, IOOp.WRITE) > burstiness(uniform, IOOp.WRITE)
+
+
+# ---------------------------------------------------------------- phases
+def test_phase_profile_aggregates():
+    trace = Trace([
+        ev(phase="init", op=IOOp.READ, start=0.0, nbytes=10, node=0),
+        ev(phase="init", op=IOOp.READ, start=1.0, nbytes=10, node=1),
+        ev(phase="out", op=IOOp.WRITE, start=9.0, nbytes=50, node=0),
+    ])
+    profiles = phase_profile(trace)
+    assert profiles["init"].reads == 2
+    assert profiles["init"].concurrency == 2
+    assert profiles["out"].bytes_written == 50
+
+
+def test_classify_compulsory_and_staging():
+    # Staging: write phase re-read later with similar volume.
+    trace = Trace(
+        [ev(phase="input", op=IOOp.READ, start=1.0, nbytes=100)]
+        + [ev(phase="stage-w", op=IOOp.WRITE, start=30.0 + i, nbytes=1000)
+           for i in range(5)]
+        + [ev(phase="stage-r", op=IOOp.READ, start=70.0 + i, nbytes=1000)
+           for i in range(5)]
+        + [ev(phase="results", op=IOOp.WRITE, start=99.0, nbytes=100)]
+    )
+    classes = classify_phases(trace, wall_time=100.0)
+    assert classes["input"] == COMPULSORY
+    assert classes["stage-w"] == DATA_STAGING
+    assert classes["stage-r"] == DATA_STAGING
+    assert classes["results"] == COMPULSORY
+
+
+def test_classify_checkpoint_bursts():
+    events = []
+    for burst in range(5):
+        t = 20.0 + burst * 15.0
+        events += [
+            ev(phase="ckpt", op=IOOp.WRITE, start=t + 0.01 * i, nbytes=1000)
+            for i in range(10)
+        ]
+    classes = classify_phases(Trace(events), wall_time=100.0)
+    assert classes["ckpt"] == CHECKPOINT
+
+
+# ---------------------------------------------------------------- evolution
+def _mk_result(version, wall, op_durations, nodes=4):
+    events = []
+    t = 0.0
+    for op, dur, n in op_durations:
+        for _ in range(n):
+            events.append(ev(op=op, duration=dur, start=t,
+                             nbytes=100 if op != IOOp.SEEK else 0))
+            t += 0.01
+    return VersionResult(
+        version=version,
+        trace=Trace(events, TraceMeta(nodes=nodes)),
+        wall_time=wall,
+        n_nodes=nodes,
+    )
+
+
+def test_compare_versions_reduction_and_dominants():
+    a = _mk_result("A", 100.0, [(IOOp.OPEN, 1.0, 5), (IOOp.READ, 0.5, 4)])
+    c = _mk_result("C", 80.0, [(IOOp.WRITE, 0.2, 5)])
+    cmp = compare_versions([a, c])
+    assert cmp.exec_time_reduction == pytest.approx(0.2)
+    assert cmp.dominant_ops["A"] == IOOp.OPEN
+    assert cmp.dominant_ops["C"] == IOOp.WRITE
+    assert cmp.io_time_change(IOOp.OPEN, "A", "C") == pytest.approx(-5.0)
+
+
+def test_compare_versions_needs_two():
+    a = _mk_result("A", 100.0, [(IOOp.READ, 1.0, 1)])
+    with pytest.raises(AnalysisError):
+        compare_versions([a])
+
+
+def test_compare_versions_duplicate_labels_rejected():
+    a = _mk_result("A", 100.0, [(IOOp.READ, 1.0, 1)])
+    b = _mk_result("A", 90.0, [(IOOp.READ, 1.0, 1)])
+    with pytest.raises(AnalysisError):
+        compare_versions([a, b])
+
+
+# ---------------------------------------------------------------- principles
+def test_principles_sequential_small_reads_aggregatable():
+    events = [
+        ev(op=IOOp.READ, offset=i * 100, nbytes=100, start=float(i))
+        for i in range(10)
+    ]
+    report = evaluate_principles(Trace(events))
+    # 9 of 10 reads follow their predecessor contiguously.
+    assert report.aggregatable_read_fraction == pytest.approx(0.9)
+    assert report.prefetchable_read_fraction == pytest.approx(0.9)
+
+
+def test_principles_reread_detection():
+    events = [
+        ev(op=IOOp.READ, node=n, offset=0, nbytes=2048, start=float(n))
+        for n in range(4)
+    ]
+    report = evaluate_principles(Trace(events))
+    assert report.reread_byte_fraction == pytest.approx(0.75)
+
+
+def test_principles_serialized_fraction():
+    events = [
+        ev(op=IOOp.READ, mode="M_UNIX"),
+        ev(op=IOOp.WRITE, mode="M_ASYNC"),
+    ]
+    report = evaluate_principles(Trace(events))
+    assert report.serialized_data_fraction == pytest.approx(0.5)
+    assert report.modes_exercised == 2
+
+
+# ---------------------------------------------------------------- report
+def test_render_breakdown_table_contains_rows():
+    trace = Trace([ev(op=IOOp.OPEN, duration=1.0), ev(op=IOOp.READ, duration=1.0)])
+    table = render_breakdown_table({"A": io_time_breakdown(trace)}, title="T")
+    assert "open" in table and "read" in table and "T" in table
+    assert "50.00" in table
+
+
+def test_render_breakdown_with_reference():
+    trace = Trace([ev(op=IOOp.OPEN, duration=1.0)])
+    table = render_breakdown_table(
+        {"A": io_time_breakdown(trace)},
+        reference={"A": {"open": 53.68}},
+    )
+    assert "53.68" in table
+
+
+def test_render_fraction_table():
+    rows = {"A": {"read": 1.27, "All I/O": 2.97}}
+    text = render_fraction_table(rows, title="Table 3")
+    assert "All I/O" in text and "2.97" in text
+
+
+def test_render_mode_table():
+    text = render_mode_table(
+        rows=[["Phase One", "All Nodes", "M_UNIX"]],
+        headers=["", "I/O Activity", "I/O Mode"],
+        title="Table 1",
+    )
+    assert "M_UNIX" in text and "Phase One" in text
+
+
+def test_render_comparison_narrative():
+    a = _mk_result("A", 100.0, [(IOOp.OPEN, 1.0, 2)])
+    c = _mk_result("C", 80.0, [(IOOp.WRITE, 0.5, 2)])
+    text = render_comparison(compare_versions([a, c]), title="ESCAT")
+    assert "20.0%" in text and "ESCAT" in text

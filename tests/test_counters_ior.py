@@ -1,0 +1,189 @@
+"""Tests for the Darshan-style counters and the IOR-style benchmark."""
+
+import pytest
+
+from repro.errors import AnalysisError, WorkloadError
+from repro.machine import MachineConfig
+from repro.pablo import IOEvent, IOOp, Trace, derive_counters, render_counters
+from repro.pfs import AccessMode
+from repro.units import KB, MB
+from repro.workloads import IORConfig, run_ior
+
+SMALL_MACHINE = MachineConfig(
+    mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+)
+
+
+def ev(node=0, op=IOOp.READ, path="/f", start=0.0, duration=0.01,
+       nbytes=100, offset=0):
+    return IOEvent(node=node, op=op, path=path, start=start,
+                   duration=duration, nbytes=nbytes, offset=offset)
+
+
+# ---------------------------------------------------------------- counters
+def test_counters_basic_totals():
+    trace = Trace([
+        ev(op=IOOp.OPEN, nbytes=0, start=0.0),
+        ev(op=IOOp.READ, nbytes=100, offset=0, start=1.0),
+        ev(op=IOOp.READ, nbytes=100, offset=100, start=2.0),
+        ev(op=IOOp.WRITE, nbytes=50, offset=200, start=3.0),
+        ev(op=IOOp.CLOSE, nbytes=0, start=4.0),
+    ])
+    counters = derive_counters(trace)
+    fc = counters["/f"]
+    assert fc.opens == 1 and fc.reads == 2 and fc.writes == 1
+    assert fc.bytes_read == 200 and fc.bytes_written == 50
+    assert fc.read_time == pytest.approx(0.02)
+    assert fc.meta_time == pytest.approx(0.02)  # open + close
+
+
+def test_counters_sequentiality():
+    trace = Trace([
+        ev(op=IOOp.READ, offset=0, nbytes=100, start=0.0),
+        ev(op=IOOp.READ, offset=100, nbytes=100, start=1.0),   # consecutive
+        ev(op=IOOp.READ, offset=500, nbytes=100, start=2.0),   # sequential
+        ev(op=IOOp.READ, offset=50, nbytes=100, start=3.0),    # backwards
+    ])
+    fc = derive_counters(trace)["/f"]
+    assert fc.consec_reads == 1
+    assert fc.seq_reads == 2  # consecutive counts as sequential too
+
+
+def test_counters_histograms_and_common_sizes():
+    trace = Trace(
+        [ev(op=IOOp.READ, nbytes=40, offset=i * 40, start=float(i))
+         for i in range(5)]
+        + [ev(op=IOOp.READ, nbytes=128 * KB, offset=MB + i * 128 * KB,
+              start=10.0 + i) for i in range(2)]
+    )
+    fc = derive_counters(trace)["/f"]
+    assert fc.read_size_histogram["0-100"] == 5
+    assert fc.read_size_histogram["100K-1M"] == 2
+    assert fc.common_access_sizes[0] == (40, 5)
+    assert fc.common_access_sizes[1] == (128 * KB, 2)
+
+
+def test_counters_alignment():
+    trace = Trace([
+        ev(op=IOOp.WRITE, offset=0, nbytes=100),            # aligned
+        ev(op=IOOp.WRITE, offset=64 * KB, nbytes=100),      # aligned
+        ev(op=IOOp.WRITE, offset=100, nbytes=100),          # not
+    ])
+    fc = derive_counters(trace, alignment=64 * KB)["/f"]
+    assert fc.unaligned_accesses == 1
+
+
+def test_counters_shared_detection():
+    trace = Trace([
+        ev(node=0, op=IOOp.READ), ev(node=1, op=IOOp.READ),
+    ])
+    fc = derive_counters(trace)["/f"]
+    assert fc.shared and len(fc.ranks) == 2
+
+
+def test_counters_per_node_streams():
+    """Interleaved nodes don't pollute each other's sequentiality."""
+    trace = Trace([
+        ev(node=0, op=IOOp.READ, offset=0, nbytes=100, start=0.0),
+        ev(node=1, op=IOOp.READ, offset=5000, nbytes=100, start=0.5),
+        ev(node=0, op=IOOp.READ, offset=100, nbytes=100, start=1.0),
+        ev(node=1, op=IOOp.READ, offset=5100, nbytes=100, start=1.5),
+    ])
+    fc = derive_counters(trace)["/f"]
+    assert fc.consec_reads == 2
+
+
+def test_counters_invalid_alignment():
+    with pytest.raises(AnalysisError):
+        derive_counters(Trace([]), alignment=0)
+
+
+def test_render_counters_output():
+    trace = Trace([
+        ev(op=IOOp.OPEN, nbytes=0),
+        ev(op=IOOp.READ, nbytes=100, offset=0),
+    ])
+    text = render_counters(derive_counters(trace))
+    assert "file: /f" in text
+    assert "1 reads" in text
+    assert "common access sizes: 100B x1" in text
+
+
+def test_counters_from_real_run():
+    from repro.apps import run_prism, scaled_prism_problem
+
+    result = run_prism(
+        "C", scaled_prism_problem(n_nodes=4, steps=10, checkpoint_every=5)
+    )
+    counters = derive_counters(result.trace)
+    rst = counters["/pfs/prism/prism.rst"]
+    assert rst.shared
+    assert rst.bytes_read > 0
+    # The restart body records appear among the common access sizes.
+    assert any(size == 155584 for size, _ in rst.common_access_sizes)
+
+
+# -------------------------------------------------------------------- IOR
+def test_ior_write_read_bandwidths_positive():
+    result = run_ior(
+        IORConfig(n_nodes=4, block_size=512 * KB, transfer_size=64 * KB),
+        machine_config=SMALL_MACHINE,
+    )
+    assert result.write_bandwidth > 0
+    assert result.read_bandwidth > 0
+    assert "MB/s" in result.summary()
+
+
+def test_ior_larger_transfers_not_slower_for_unix_writes():
+    def bw(transfer):
+        return run_ior(
+            IORConfig(
+                n_nodes=4, block_size=512 * KB, transfer_size=transfer,
+                mode=AccessMode.M_UNIX, do_read=False,
+            ),
+            machine_config=SMALL_MACHINE,
+        ).write_bandwidth
+
+    assert bw(64 * KB) > 2 * bw(8 * KB)
+
+
+def test_ior_file_per_process():
+    result = run_ior(
+        IORConfig(
+            n_nodes=4, block_size=256 * KB, transfer_size=64 * KB,
+            file_per_process=True,
+        ),
+        machine_config=SMALL_MACHINE,
+    )
+    assert result.write_bandwidth > 0
+
+
+def test_ior_read_only_prepopulates():
+    result = run_ior(
+        IORConfig(
+            n_nodes=4, block_size=256 * KB, transfer_size=64 * KB,
+            do_write=False, do_read=True,
+        ),
+        machine_config=SMALL_MACHINE,
+    )
+    assert result.read_bandwidth > 0
+    assert result.write_bandwidth == 0.0
+
+
+def test_ior_segments_multiply_volume():
+    cfg = IORConfig(n_nodes=2, block_size=128 * KB, transfer_size=64 * KB,
+                    segments=3)
+    assert cfg.aggregate_bytes == 2 * 128 * KB * 3
+
+
+def test_ior_config_validation():
+    with pytest.raises(WorkloadError):
+        IORConfig(block_size=10, transfer_size=100).validate()
+    with pytest.raises(WorkloadError):
+        IORConfig(block_size=100, transfer_size=33).validate()
+    with pytest.raises(WorkloadError):
+        IORConfig(do_write=False, do_read=False).validate()
+    with pytest.raises(WorkloadError):
+        IORConfig(mode=AccessMode.M_GLOBAL).validate()
+    with pytest.raises(WorkloadError):
+        IORConfig(mode=AccessMode.M_RECORD, file_per_process=True).validate()

@@ -1,0 +1,68 @@
+"""Tests for the section-6 cross-application comparison."""
+
+import pytest
+
+from repro.apps import (
+    run_escat,
+    run_prism,
+    scaled_escat_problem,
+    scaled_prism_problem,
+)
+from repro.core import profile_trace, section6_report
+from repro.errors import AnalysisError
+from repro.pablo import Trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    escat = scaled_escat_problem(n_nodes=8, records_per_channel=16)
+    prism = scaled_prism_problem(n_nodes=8, steps=10, checkpoint_every=5)
+    return section6_report(
+        run_escat("A", escat).trace,
+        run_escat("C", escat).trace,
+        run_prism("A", prism).trace,
+        run_prism("C", prism).trace,
+    )
+
+
+def test_initial_versions_share_characteristics(report):
+    shared = report.shared_initial_characteristics()
+    assert any("standard UNIX" in s for s in shared)
+    assert any("serializing default mode" in s for s in shared)
+    assert any("small in every initial version" in s for s in shared)
+
+
+def test_initial_small_reads_dominate(report):
+    for profile in report.initial.values():
+        assert profile.small_read_fraction > 0.9
+        assert profile.modes_used == ["M_UNIX"]
+        assert profile.serialized_data_fraction == 1.0
+
+
+def test_escat_initial_is_node_zero_coordinated(report):
+    # Phases two through four funnel through node zero in ESCAT A.
+    assert report.initial["ESCAT"].node_zero_coordinated
+
+
+def test_optimized_versions_adopt_new_modes(report):
+    effects = report.optimization_effects()
+    assert any("ESCAT: adopted" in s and "M_ASYNC" in s for s in effects)
+    assert any("PRISM: adopted" in s and "M_GLOBAL" in s for s in effects)
+    for profile in report.optimized.values():
+        assert len(profile.modes_used) > 1
+
+
+def test_escat_optimized_large_reads_carry_data(report):
+    assert report.optimized["ESCAT"].large_read_data_fraction > 0.85
+    assert not report.optimized["ESCAT"].node_zero_coordinated
+
+
+def test_render_contains_table(report):
+    text = report.render()
+    assert "Section 6" in text
+    assert "ESCAT initial" in text and "PRISM optimized" in text
+
+
+def test_profile_empty_trace_rejected():
+    with pytest.raises(AnalysisError):
+        profile_trace(Trace([]), "X", "A")

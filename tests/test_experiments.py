@@ -1,0 +1,75 @@
+"""Tests for the experiment harness (fast mode)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments import (
+    EXPERIMENTS,
+    clear_cache,
+    escat_result,
+    list_experiments,
+    prism_result,
+    run_experiment,
+)
+from repro.experiments import reference
+from repro.pablo.records import TABLE_OP_ORDER
+
+
+def test_registry_covers_every_table_and_figure():
+    ids = list_experiments()
+    assert [f"figure{i}" for i in range(1, 10)] == [
+        x for x in ids if x.startswith("figure")
+    ]
+    assert [f"table{i}" for i in range(1, 6)] == [
+        x for x in ids if x.startswith("table")
+    ]
+    for exp in EXPERIMENTS.values():
+        assert exp.description
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(AnalysisError):
+        run_experiment("table99")
+
+
+def test_run_caching_reuses_results():
+    clear_cache()
+    r1 = escat_result("C", fast=True)
+    r2 = escat_result("C", fast=True)
+    assert r1 is r2
+    p1 = prism_result("B", fast=True)
+    p2 = prism_result("B", fast=True)
+    assert p1 is p2
+    clear_cache()
+    assert escat_result("C", fast=True) is not r1
+
+
+def test_fast_experiments_render(capsys):
+    # A couple of representative experiments end-to-end in fast mode.
+    text = run_experiment("table5", fast=True)
+    assert "Table 5" in text and "read" in text
+    text = run_experiment("figure2", fast=True)
+    assert "Figure 2" in text
+
+
+def test_reference_tables_well_formed():
+    for version, rows in reference.TABLE2_ESCAT.items():
+        assert version in ("A", "B", "C")
+        total = sum(v for v in rows.values() if v)
+        assert 95.0 < total < 105.0  # percentages sum to ~100
+    for version, rows in reference.TABLE5_PRISM.items():
+        total = sum(v for v in rows.values() if v)
+        assert 95.0 < total < 105.0
+    valid_ops = {op.value for op in TABLE_OP_ORDER}
+    for rows in reference.TABLE2_ESCAT.values():
+        assert set(rows) <= valid_ops
+
+
+def test_reference_table3_rows():
+    assert reference.TABLE3_ESCAT["ethylene/C"]["All I/O"] == 0.73
+    assert reference.TABLE3_ESCAT["carbon-monoxide/C"]["All I/O"] == 19.40
+
+
+def test_figure_reference_claims_present():
+    assert set(reference.FIGURES) == {f"figure{i}" for i in range(1, 10)}
+    assert reference.FIGURES["figure6"]["reduction"] == 0.23

@@ -1,0 +1,159 @@
+"""Failure/degradation injection: hot spots and slow devices.
+
+The simulator's structural claims should degrade gracefully and
+predictably: a slow disk bottlenecks exactly the operations that
+touch it, node-ordered modes pace at the slowest participant, and
+write-behind absorbs (then backpressures on) a slow drain.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.machine import DiskConfig, MachineConfig, ParagonXPS
+from repro.machine.disk import RAID3Array
+from repro.pablo import IOOp, Tracer
+from repro.pfs import PFS, AccessMode
+from repro.sim import Engine
+from repro.units import KB, MB
+
+
+def _world(n_io=4, degrade_io_node=None, degrade_factor=20.0):
+    eng = Engine()
+    machine = ParagonXPS(eng, MachineConfig(
+        mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=n_io,
+    ))
+    if degrade_io_node is not None:
+        slow = machine.io_nodes[degrade_io_node]
+        cfg = slow.disk.config
+        slow.disk = RAID3Array(replace(
+            cfg,
+            positioning=cfg.positioning * degrade_factor,
+            transfer_rate=cfg.transfer_rate / degrade_factor,
+        ), name=f"degraded{degrade_io_node}")
+    tracer = Tracer()
+    pfs = PFS(eng, machine, tracer=tracer)
+    return eng, machine, pfs, tracer
+
+
+def _striped_read_time(degrade=None):
+    eng, machine, pfs, tracer = _world(degrade_io_node=degrade)
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data", buffered=False)
+        yield from cli.write(h, 1 * MB)
+        yield from cli.seek(h, 0)
+        t0 = eng.now
+        yield from cli.read(h, 1 * MB)
+        return eng.now - t0
+
+    p = eng.process(proc())
+    eng.run()
+    return p.value
+
+
+def test_degraded_disk_slows_striped_reads():
+    healthy = _striped_read_time(degrade=None)
+    degraded = _striped_read_time(degrade=2)
+    # One slow stripe server gates the whole striped request.
+    assert degraded > 3 * healthy
+
+
+def test_degraded_disk_only_affects_its_stripes():
+    """Requests that avoid the slow disk are unaffected."""
+    eng, machine, pfs, tracer = _world(degrade_io_node=3)
+    stripe = machine.config.stripe_size
+    times = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data", buffered=False)
+        yield from cli.write(h, 4 * stripe)  # stripes 0..3
+        # Read a stripe on a healthy disk, then the degraded one.
+        yield from cli.seek(h, 0)
+        t0 = eng.now
+        yield from cli.read(h, stripe)
+        times["healthy"] = eng.now - t0
+        yield from cli.seek(h, 3 * stripe)
+        t0 = eng.now
+        yield from cli.read(h, stripe)
+        times["degraded"] = eng.now - t0
+        yield from cli.close(h)
+
+    eng.process(proc())
+    eng.run()
+    assert times["degraded"] > 3 * times["healthy"]
+
+
+def test_record_mode_paces_at_slowest_disk():
+    """M_RECORD rounds are collectively gated by the hot spot."""
+    def round_time(degrade):
+        eng, machine, pfs, tracer = _world(degrade_io_node=degrade)
+
+        def writer():
+            cli = pfs.client(15)
+            h = yield from cli.open("/pfs/rec")
+            yield from cli.write(h, 8 * 64 * KB)
+            yield from cli.close(h)
+
+        eng.process(writer())
+        eng.run()
+
+        def node(rank):
+            cli = pfs.client(rank)
+            h = yield from cli.gopen(
+                "/pfs/rec", group=range(8), mode=AccessMode.M_RECORD,
+                buffered=False,
+            )
+            yield from cli.seek(h, rank * 64 * KB)
+            yield from cli.read(h, 64 * KB)
+            yield from cli.close(h)
+
+        procs = [eng.process(node(r)) for r in range(8)]
+        eng.run(until=eng.all_of(procs))
+        wall = eng.now
+        eng.run()
+        return wall
+
+    assert round_time(degrade=1) > 2 * round_time(degrade=None)
+
+
+def test_write_behind_backpressure_under_slow_drain():
+    """A slow disk turns write-behind acks into backpressure, not
+    unbounded dirty data."""
+    eng, machine, pfs, tracer = _world(degrade_io_node=0, degrade_factor=50)
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.gopen(
+            "/pfs/wb", group=[0], mode=AccessMode.M_ASYNC
+        )
+        # Hammer the degraded disk's stripes only (stripe 0, 4, 8...).
+        stripe = machine.config.stripe_size
+        for i in range(40):
+            yield from cli.seek(h, (i * 4) * stripe)
+            yield from cli.write(h, 8 * KB)
+        yield from cli.close(h)
+
+    eng.process(proc())
+    eng.run()
+    server = pfs.servers[0]
+    # All write-behind slots were eventually released (drains finished).
+    assert server.pending_write_behind == 0
+    # The cache never exceeded its dirty bound.
+    assert server.cache.dirty_count == 0
+
+
+def test_degraded_network_slows_broadcast():
+    from repro.machine import NetworkConfig, Mesh2D, Network
+
+    eng = Engine()
+    mesh = Mesh2D(4, 4)
+    fast = Network(eng, mesh, NetworkConfig())
+    slow = Network(eng, mesh, NetworkConfig(
+        bandwidth=NetworkConfig().bandwidth / 100,
+        latency=NetworkConfig().latency * 10,
+    ))
+    nodes = list(range(16))
+    assert slow.broadcast_time(0, MB, nodes) > \
+        10 * fast.broadcast_time(0, MB, nodes)

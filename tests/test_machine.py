@@ -1,0 +1,346 @@
+"""Unit tests for the Paragon machine model."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    DiskConfig,
+    IONode,
+    MachineConfig,
+    Mesh2D,
+    Network,
+    NetworkConfig,
+    ParagonXPS,
+    RAID3Array,
+)
+from repro.sim import Engine
+from repro.units import KB, MB
+
+
+# ---------------------------------------------------------------- topology
+def test_mesh_row_major_coordinates():
+    mesh = Mesh2D(cols=16, rows=32)
+    assert mesh.coordinates(0) == (0, 0)
+    assert mesh.coordinates(15) == (15, 0)
+    assert mesh.coordinates(16) == (0, 1)
+    assert mesh.size == 512
+
+
+def test_mesh_node_at_inverse():
+    mesh = Mesh2D(cols=7, rows=5)
+    for node in range(mesh.size):
+        x, y = mesh.coordinates(node)
+        assert mesh.node_at(x, y) == node
+
+
+def test_mesh_hops_manhattan():
+    mesh = Mesh2D(cols=16, rows=32)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 15) == 15
+    assert mesh.hops(0, 16) == 1
+    assert mesh.hops(0, 511) == 15 + 31
+
+
+def test_mesh_route_length_matches_hops():
+    mesh = Mesh2D(cols=8, rows=8)
+    route = mesh.route(0, 63)
+    assert len(route) == mesh.hops(0, 63) + 1
+    assert route[0] == 0 and route[-1] == 63
+
+
+def test_mesh_route_steps_are_adjacent():
+    mesh = Mesh2D(cols=8, rows=8)
+    route = mesh.route(5, 58)
+    for a, b in zip(route, route[1:]):
+        assert mesh.hops(a, b) == 1
+
+
+def test_mesh_out_of_range_rejected():
+    mesh = Mesh2D(cols=4, rows=4)
+    with pytest.raises(MachineError):
+        mesh.coordinates(16)
+    with pytest.raises(MachineError):
+        mesh.node_at(4, 0)
+
+
+def test_mesh_invalid_dimensions():
+    with pytest.raises(MachineError):
+        Mesh2D(cols=0, rows=4)
+
+
+def test_spread_positions_unique_and_in_range():
+    mesh = Mesh2D(cols=16, rows=32)
+    positions = mesh.spread_positions(16)
+    assert len(positions) == 16
+    assert len(set(positions)) == 16
+    assert all(0 <= p < mesh.size for p in positions)
+
+
+def test_mean_distance_closed_form_small_mesh():
+    mesh = Mesh2D(cols=2, rows=2)
+    # Exhaustive average for 2x2: pairs hops = {0:4,1:8,2:4}/16 = 1.0
+    total = sum(mesh.hops(a, b) for a in range(4) for b in range(4))
+    assert mesh.mean_distance() == pytest.approx(total / 16.0)
+
+
+# ---------------------------------------------------------------- network
+def test_transfer_time_components():
+    eng = Engine()
+    mesh = Mesh2D(cols=4, rows=4)
+    cfg = NetworkConfig(latency=1e-3, per_hop=1e-4, bandwidth=1e6)
+    net = Network(eng, mesh, cfg)
+    t = net.transfer_time(0, 3, 1000)  # 3 hops, 1000 bytes
+    assert t == pytest.approx(1e-3 + 3 * 1e-4 + 1000 / 1e6)
+
+
+def test_transfer_self_is_free():
+    eng = Engine()
+    net = Network(eng, Mesh2D(4, 4), NetworkConfig())
+    assert net.transfer_time(2, 2, 10 * MB) == 0.0
+
+
+def test_transfer_negative_size_rejected():
+    eng = Engine()
+    net = Network(eng, Mesh2D(4, 4), NetworkConfig())
+    with pytest.raises(MachineError):
+        net.transfer_time(0, 1, -1)
+
+
+def test_send_advances_clock_and_counts():
+    eng = Engine()
+    net = Network(eng, Mesh2D(4, 4), NetworkConfig(latency=0.5))
+
+    def proc(eng, net):
+        yield from net.send(0, 1, 1000)
+
+    eng.process(proc(eng, net))
+    eng.run()
+    assert eng.now > 0.5
+    assert net.messages == 1
+    assert net.bytes_moved == 1000
+
+
+def test_broadcast_scales_logarithmically():
+    eng = Engine()
+    net = Network(eng, Mesh2D(16, 32), NetworkConfig())
+    nodes_small = list(range(4))
+    nodes_large = list(range(128))
+    t4 = net.broadcast_time(0, 64 * KB, nodes_small)
+    t128 = net.broadcast_time(0, 64 * KB, nodes_large)
+    # 2 stages vs 7 stages: ratio ~3.5, certainly < linear (32x).
+    assert t4 < t128 < 16 * t4
+
+
+def test_broadcast_single_node_free():
+    eng = Engine()
+    net = Network(eng, Mesh2D(4, 4), NetworkConfig())
+    assert net.broadcast_time(0, MB, [0]) == 0.0
+
+
+def test_gather_root_link_is_bottleneck():
+    eng = Engine()
+    cfg = NetworkConfig(latency=1e-6, per_hop=0.0, bandwidth=1e8)
+    net = Network(eng, Mesh2D(16, 32), cfg)
+    nodes = list(range(64))
+    t = net.gather_time(0, 100 * KB, nodes)
+    payload = 63 * 100 * KB / 1e8
+    assert t >= payload
+
+
+def test_gather_no_senders_free():
+    eng = Engine()
+    net = Network(eng, Mesh2D(4, 4), NetworkConfig())
+    assert net.gather_time(0, MB, [0]) == 0.0
+
+
+def test_barrier_time_log_stages():
+    eng = Engine()
+    cfg = NetworkConfig(barrier_stage=1e-3)
+    net = Network(eng, Mesh2D(16, 32), cfg)
+    assert net.barrier_time(1) == 0.0
+    assert net.barrier_time(2) == pytest.approx(2e-3)
+    assert net.barrier_time(128) == pytest.approx(14e-3)
+
+
+# ---------------------------------------------------------------- disk
+def test_disk_sequential_cheaper_than_random():
+    disk = RAID3Array(DiskConfig())
+    t_first = disk.service_time(0, 64 * KB)
+    t_seq = disk.service_time(64 * KB, 64 * KB)
+    assert t_seq < t_first
+
+
+def test_disk_random_after_sequential_pays_positioning():
+    cfg = DiskConfig()
+    disk = RAID3Array(cfg)
+    disk.service_time(0, 64 * KB)
+    t_rand = disk.service_time(500 * MB, 64 * KB)
+    assert t_rand == pytest.approx(
+        cfg.request_overhead + cfg.positioning + 64 * KB / cfg.transfer_rate
+    )
+
+
+def test_disk_large_requests_amortize_overhead():
+    cfg = DiskConfig()
+    # bandwidth efficiency = transfer / total
+    def efficiency(nbytes):
+        disk = RAID3Array(cfg)
+        t = disk.service_time(0, nbytes)
+        return (nbytes / cfg.transfer_rate) / t
+
+    assert efficiency(1 * KB) < 0.1
+    assert efficiency(1 * MB) > 0.9
+
+
+def test_disk_counters():
+    disk = RAID3Array(DiskConfig())
+    disk.service_time(0, 1000)
+    disk.service_time(1000, 2000)
+    assert disk.requests == 2
+    assert disk.bytes_serviced == 3000
+    assert disk.busy_time > 0
+    assert disk.mean_service_time == pytest.approx(disk.busy_time / 2)
+
+
+def test_disk_peek_does_not_mutate():
+    disk = RAID3Array(DiskConfig())
+    t1 = disk.peek_service_time(0, 1000)
+    t2 = disk.peek_service_time(0, 1000)
+    assert t1 == t2
+    assert disk.requests == 0
+
+
+def test_disk_reset_position():
+    cfg = DiskConfig()
+    disk = RAID3Array(cfg)
+    disk.service_time(0, KB)
+    disk.reset_position()
+    assert not disk.is_sequential(KB)
+
+
+def test_disk_invalid_request():
+    disk = RAID3Array(DiskConfig())
+    with pytest.raises(MachineError):
+        disk.service_time(-1, 10)
+    with pytest.raises(MachineError):
+        disk.service_time(0, -10)
+
+
+# ---------------------------------------------------------------- ionode
+def test_ionode_fifo_service():
+    eng = Engine()
+    ionode = IONode(eng, 0, 0, DiskConfig())
+    completions = []
+
+    def client(eng, ionode, rank):
+        req = yield eng.process(
+            ionode.submit(rank, "read", rank * MB, 64 * KB)
+        )
+        completions.append((rank, req.queue_delay))
+
+    for rank in range(3):
+        eng.process(client(eng, ionode, rank))
+    eng.run()
+    assert [r for r, _ in completions] == [0, 1, 2]
+    # First request had no queueing; later ones did.
+    assert completions[0][1] == pytest.approx(0.0)
+    assert completions[2][1] > completions[1][1] > 0
+
+
+def test_ionode_counters_accumulate():
+    eng = Engine()
+    ionode = IONode(eng, 0, 0, DiskConfig())
+
+    def client(eng, ionode):
+        yield eng.process(ionode.submit(0, "write", 0, KB))
+        yield eng.process(ionode.submit(0, "write", KB, KB))
+
+    eng.process(client(eng, ionode))
+    eng.run()
+    assert ionode.completed == 2
+    assert ionode.total_service > 0
+
+
+# ---------------------------------------------------------------- machine
+def test_paragon_caltech_shape():
+    eng = Engine()
+    machine = ParagonXPS(eng)
+    assert len(machine.compute_nodes) == 512
+    assert len(machine.io_nodes) == 16
+    assert machine.config.stripe_size == 64 * KB
+    assert machine.compute_nodes[0].is_node_zero
+    assert not machine.compute_nodes[1].is_node_zero
+
+
+def test_paragon_partition():
+    eng = Engine()
+    machine = ParagonXPS(eng)
+    part = machine.partition(128)
+    assert len(part) == 128
+    assert [n.rank for n in part] == list(range(128))
+    with pytest.raises(MachineError):
+        machine.partition(0)
+    with pytest.raises(MachineError):
+        machine.partition(513)
+
+
+def test_machine_config_validation():
+    with pytest.raises(MachineError):
+        MachineConfig(n_compute_nodes=1000, mesh_cols=4, mesh_rows=4).validate()
+    with pytest.raises(MachineError):
+        MachineConfig(n_io_nodes=0).validate()
+    with pytest.raises(MachineError):
+        MachineConfig(stripe_size=0).validate()
+
+
+def test_machine_config_scaled():
+    cfg = MachineConfig.caltech().scaled(n_io_nodes=4, stripe_size=16 * KB)
+    assert cfg.n_io_nodes == 4
+    assert cfg.stripe_size == 16 * KB
+    # Original untouched (frozen dataclass semantics).
+    assert MachineConfig.caltech().n_io_nodes == 16
+
+
+def test_compute_node_jitter_reproducible():
+    def run():
+        eng = Engine()
+        machine = ParagonXPS(eng)
+        node = machine.compute_nodes[3]
+        times = []
+
+        def proc(eng, node):
+            for _ in range(5):
+                yield from node.compute(1.0, jitter=0.2)
+                times.append(eng.now)
+
+        eng.process(proc(eng, node))
+        eng.run()
+        return times
+
+    assert run() == run()
+
+
+def test_compute_node_jitter_requires_rng():
+    eng = Engine()
+    from repro.machine.node import ComputeNode
+
+    node = ComputeNode(eng, rank=0, mesh_position=0, rng=None)
+
+    def proc(eng, node):
+        yield from node.compute(1.0, jitter=0.5)
+
+    eng.process(proc(eng, node))
+    with pytest.raises(MachineError):
+        eng.run()
+
+
+def test_compute_negative_time_rejected():
+    eng = Engine()
+    machine = ParagonXPS(eng)
+
+    def proc(node):
+        yield from node.compute(-1.0)
+
+    eng.process(proc(machine.compute_nodes[0]))
+    with pytest.raises(MachineError):
+        eng.run()

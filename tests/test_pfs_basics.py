@@ -1,0 +1,220 @@
+"""Unit tests for PFS building blocks: striping, extents, cache, modes."""
+
+import pytest
+
+from repro.errors import AccessModeError, PFSError
+from repro.pfs import (
+    AccessMode,
+    BlockCache,
+    ExtentMap,
+    StripeLayout,
+    parse_mode,
+    semantics,
+)
+from repro.units import KB
+
+
+# ---------------------------------------------------------------- striping
+def test_stripe_round_robin_io_nodes():
+    layout = StripeLayout(stripe_size=64 * KB, n_io_nodes=4)
+    assert layout.io_node_of(0) == 0
+    assert layout.io_node_of(64 * KB) == 1
+    assert layout.io_node_of(4 * 64 * KB) == 0
+
+
+def test_stripe_pieces_within_one_stripe():
+    layout = StripeLayout(stripe_size=64 * KB, n_io_nodes=4)
+    pieces = layout.pieces(100, 1000)
+    assert len(pieces) == 1
+    assert pieces[0].io_node == 0
+    assert pieces[0].nbytes == 1000
+    assert pieces[0].file_offset == 100
+
+
+def test_stripe_pieces_span_stripes():
+    layout = StripeLayout(stripe_size=64, n_io_nodes=4)
+    pieces = layout.pieces(32, 96)
+    assert [(p.io_node, p.nbytes) for p in pieces] == [(0, 32), (1, 64)]
+    assert sum(p.nbytes for p in pieces) == 96
+
+
+def test_stripe_pieces_cover_request_exactly():
+    layout = StripeLayout(stripe_size=64, n_io_nodes=3)
+    pieces = layout.pieces(10, 500)
+    pos = 10
+    for p in pieces:
+        assert p.file_offset == pos
+        pos += p.nbytes
+    assert pos == 510
+
+
+def test_stripe_disk_offsets_contiguous_per_disk():
+    """Consecutive stripes on the same disk occupy contiguous disk
+    addresses (so streaming writes look sequential to the disk)."""
+    layout = StripeLayout(stripe_size=64, n_io_nodes=4, disk_base=1000)
+    # Stripes 0 and 4 are both on io node 0.
+    assert layout.disk_offset_of(0) == 1000
+    assert layout.disk_offset_of(4 * 64) == 1000 + 64
+
+
+def test_stripe_alignment_check():
+    layout = StripeLayout(stripe_size=64 * KB, n_io_nodes=16)
+    assert layout.is_stripe_aligned(0, 128 * KB)
+    assert not layout.is_stripe_aligned(1, 128 * KB)
+    assert not layout.is_stripe_aligned(0, 100)
+
+
+def test_stripe_zero_length_request():
+    layout = StripeLayout(stripe_size=64, n_io_nodes=4)
+    assert layout.pieces(10, 0) == []
+
+
+def test_stripe_invalid_args():
+    with pytest.raises(PFSError):
+        StripeLayout(stripe_size=0, n_io_nodes=4)
+    with pytest.raises(PFSError):
+        StripeLayout(stripe_size=64, n_io_nodes=0)
+    layout = StripeLayout(stripe_size=64, n_io_nodes=4)
+    with pytest.raises(PFSError):
+        layout.pieces(-1, 10)
+    with pytest.raises(PFSError):
+        layout.pieces(0, -10)
+
+
+# ---------------------------------------------------------------- extents
+def test_extent_map_simple_write_read():
+    m = ExtentMap()
+    m.write(0, 100, token=7)
+    exts = m.read(0, 100)
+    assert len(exts) == 1
+    assert (exts[0].start, exts[0].end, exts[0].token) == (0, 100, 7)
+
+
+def test_extent_map_overwrite_splits():
+    m = ExtentMap()
+    m.write(0, 100, token=1)
+    m.write(25, 75, token=2)
+    exts = m.read(0, 100)
+    assert [(e.start, e.end, e.token) for e in exts] == [
+        (0, 25, 1), (25, 75, 2), (75, 100, 1),
+    ]
+
+
+def test_extent_map_later_write_wins():
+    m = ExtentMap()
+    m.write(0, 50, token=1)
+    m.write(0, 50, token=2)
+    assert [e.token for e in m.read(0, 50)] == [2]
+
+
+def test_extent_map_read_clips():
+    m = ExtentMap()
+    m.write(100, 200, token=5)
+    exts = m.read(150, 300)
+    assert [(e.start, e.end) for e in exts] == [(150, 200)]
+
+
+def test_extent_map_holes_absent():
+    m = ExtentMap()
+    m.write(0, 10, token=1)
+    m.write(20, 30, token=2)
+    assert m.covered_bytes(0, 30) == 20
+    assert [e.token for e in m.read(0, 30)] == [1, 2]
+
+
+def test_extent_map_high_water():
+    m = ExtentMap()
+    assert m.high_water == 0
+    m.write(100, 200, token=1)
+    assert m.high_water == 200
+
+
+def test_extent_map_zero_length_write_ignored():
+    m = ExtentMap()
+    m.write(50, 50, token=1)
+    assert len(m) == 0
+
+
+def test_extent_map_invalid_ranges():
+    m = ExtentMap()
+    with pytest.raises(PFSError):
+        m.write(-1, 10, token=1)
+    with pytest.raises(PFSError):
+        m.write(10, 5, token=1)
+    with pytest.raises(PFSError):
+        m.read(10, 5)
+
+
+def test_extent_map_many_adjacent_writes():
+    m = ExtentMap()
+    for i in range(100):
+        m.write(i * 10, (i + 1) * 10, token=i)
+    assert m.covered_bytes(0, 1000) == 1000
+    exts = m.read(0, 1000)
+    assert len(exts) == 100
+    assert [e.token for e in exts] == list(range(100))
+
+
+# ---------------------------------------------------------------- cache
+def test_cache_hit_after_insert():
+    cache = BlockCache(capacity_blocks=4)
+    key = (1, 0)
+    assert not cache.lookup(key)
+    cache.insert(key)
+    assert cache.lookup(key)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_lru_eviction():
+    cache = BlockCache(capacity_blocks=2)
+    cache.insert((1, 0))
+    cache.insert((1, 1))
+    cache.lookup((1, 0))  # refresh 0
+    cache.insert((1, 2))  # evicts 1
+    assert cache.lookup((1, 0))
+    assert not cache.lookup((1, 1))
+    assert cache.evictions == 1
+
+
+def test_cache_dirty_tracking():
+    cache = BlockCache(capacity_blocks=4)
+    cache.insert((1, 0), dirty=True)
+    assert cache.dirty_count == 1
+    cache.mark_clean((1, 0))
+    assert cache.dirty_count == 0
+
+
+def test_cache_invalidate():
+    cache = BlockCache(capacity_blocks=4)
+    cache.insert((1, 0))
+    cache.invalidate((1, 0))
+    assert not cache.lookup((1, 0))
+
+
+def test_cache_invalid_capacity():
+    with pytest.raises(PFSError):
+        BlockCache(capacity_blocks=0)
+
+
+# ---------------------------------------------------------------- modes
+def test_mode_semantics_table():
+    assert semantics(AccessMode.M_UNIX).atomic_serialized
+    assert semantics(AccessMode.M_UNIX).private_pointer
+    assert semantics(AccessMode.M_RECORD).node_ordered
+    assert semantics(AccessMode.M_RECORD).fixed_size
+    assert not semantics(AccessMode.M_ASYNC).atomic_serialized
+    assert semantics(AccessMode.M_GLOBAL).aggregated
+    assert not semantics(AccessMode.M_GLOBAL).private_pointer
+    assert semantics(AccessMode.M_SYNC).node_ordered
+    assert not semantics(AccessMode.M_SYNC).fixed_size
+    assert not semantics(AccessMode.M_LOG).private_pointer
+
+
+def test_parse_mode_case_insensitive():
+    assert parse_mode("m_unix") == AccessMode.M_UNIX
+    assert parse_mode("M_RECORD") == AccessMode.M_RECORD
+
+
+def test_parse_mode_unknown():
+    with pytest.raises(AccessModeError):
+        parse_mode("M_BOGUS")

@@ -1,0 +1,712 @@
+"""Integration tests for the PFS client: modes, pointers, integrity."""
+
+import pytest
+
+from repro.errors import AccessModeError, FileNotOpenError, PFSError
+from repro.pablo import IOOp
+from repro.pfs import AccessMode
+from repro.units import KB
+
+from tests.conftest import run_procs
+
+
+# ---------------------------------------------------------------- basics
+def test_open_write_read_roundtrip(small_world):
+    eng, machine, pfs, tracer = small_world
+    results = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        token = yield from cli.write(h, 1000)
+        yield from cli.seek(h, 0)
+        extents = yield from cli.read(h, 1000)
+        results["token"] = token
+        results["extents"] = extents
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert len(results["extents"]) == 1
+    assert results["extents"][0].token == results["token"]
+    assert results["extents"][0].start == 0
+    assert results["extents"][0].end == 1000
+
+
+def test_sequential_writes_advance_pointer(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        for _ in range(5):
+            yield from cli.write(h, 100)
+        assert h.offset == 500
+        assert h.state.size == 500
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_read_after_close_raises(small_world):
+    eng, machine, pfs, tracer = small_world
+    failures = []
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        yield from cli.close(h)
+        try:
+            yield from cli.read(h, 10)
+        except FileNotOpenError:
+            failures.append("caught")
+
+    run_procs(eng, proc())
+    assert failures == ["caught"]
+
+
+def test_double_close_raises(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        yield from cli.close(h)
+        try:
+            yield from cli.close(h)
+        except (PFSError, FileNotOpenError):
+            caught.append(True)
+
+    run_procs(eng, proc())
+    assert caught == [True]
+
+
+def test_seek_sets_offset(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        yield from cli.write(h, 10 * KB)
+        pos = yield from cli.seek(h, 4 * KB)
+        assert pos == 4 * KB and h.offset == 4 * KB
+        extents = yield from cli.read(h, KB)
+        assert extents[0].start == 4 * KB
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_negative_seek_rejected(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        with pytest.raises(PFSError):
+            yield from cli.seek(h, -5)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_read_of_hole_returns_no_extents(small_world):
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        got["extents"] = (yield from cli.read(h, 1000))
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert got["extents"] == []
+
+
+def test_every_operation_is_traced(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        cli.phase = "phase-one"
+        h = yield from cli.open("/pfs/data")
+        yield from cli.write(h, 100)
+        yield from cli.seek(h, 0)
+        yield from cli.read(h, 100)
+        yield from cli.flush(h)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    trace = tracer.finish()
+    ops = [e.op for e in trace.events]
+    assert ops == [
+        IOOp.OPEN, IOOp.WRITE, IOOp.SEEK, IOOp.READ, IOOp.FLUSH, IOOp.CLOSE,
+    ]
+    assert all(e.phase == "phase-one" for e in trace.events)
+    assert all(e.duration > 0 for e in trace.events)
+    assert trace.events[1].nbytes == 100
+
+
+def test_write_spanning_stripes_hits_multiple_servers(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/big")
+        yield from cli.write(h, 256 * KB)  # 4 stripes over 4 io nodes
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    touched = [s for s in pfs.servers if s.writes > 0]
+    assert len(touched) == 4
+
+
+def test_striped_read_parallel_speedup(small_world):
+    """A 4-stripe read should take much less than 4x a 1-stripe read."""
+    eng, machine, pfs, tracer = small_world
+    times = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/big", buffered=False)
+        yield from cli.write(h, 512 * KB)
+        yield from cli.seek(h, 0)
+        t0 = eng.now
+        yield from cli.read(h, 64 * KB)
+        times["one"] = eng.now - t0
+        # Invalidate sequentiality/cache effects by reading fresh area.
+        yield from cli.seek(h, 64 * KB)
+        t0 = eng.now
+        yield from cli.read(h, 256 * KB)
+        times["four"] = eng.now - t0
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert times["four"] < 2.5 * times["one"]
+
+
+# ---------------------------------------------------------------- M_UNIX
+def test_munix_shared_file_serializes_reads(small_world):
+    """Concurrent reads by many nodes on a shared M_UNIX file must
+    serialize through the atomicity token (the ESCAT-A phase-1
+    behaviour)."""
+    eng, machine, pfs, tracer = small_world
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/init")
+        yield from cli.write(h, 64 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+
+    from repro.sim import Barrier
+
+    barrier = Barrier(eng, parties=8)
+
+    def reader(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.open("/pfs/init", buffered=False)
+        yield barrier.wait()  # everyone opens before anyone reads
+        yield from cli.read(h, 1 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, *(reader(r) for r in range(8)))
+    trace = tracer.finish().by_op(IOOp.READ)
+    durations = sorted(e.duration for e in trace.events)
+    # Later arrivals waited behind earlier holders: spread of durations.
+    assert durations[-1] > durations[0] * 3
+
+
+def test_munix_sole_opener_skips_token(small_world):
+    """A file opened by one node only is not serialized: node-zero
+    writes stay cheap (the paper's version-A write observation)."""
+    eng, machine, pfs, tracer = small_world
+
+    def solo():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/out")
+        for _ in range(10):
+            yield from cli.write(h, 2 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, solo())
+    writes = tracer.finish().by_op(IOOp.WRITE)
+    durations = sorted(e.duration for e in writes.events)
+    # Sequential small write-through: a few ms each, no token waits.
+    # (Only the very first write pays positioning + parity RMW.)
+    assert durations[len(durations) // 2] < 0.02
+    assert durations[-1] < 0.1
+
+
+def test_munix_shared_seek_is_expensive_local_seek_cheap(small_world):
+    eng, machine, pfs, tracer = small_world
+    from repro.sim import Barrier
+
+    barrier = Barrier(eng, parties=2)
+    durations = {}
+
+    def opener(rank, results, parties=None):
+        cli = pfs.client(rank)
+        h = yield from cli.open("/pfs/shared")
+        if parties:
+            yield barrier.wait()  # both opened: file is now shared
+        t0 = eng.now
+        yield from cli.seek(h, 1000)
+        results[rank] = eng.now - t0
+        yield from cli.close(h)
+
+    shared = {}
+    run_procs(eng, opener(0, shared, 2), opener(1, shared, 2))
+
+    solo = {}
+    run_procs(eng, opener(5, solo))  # sole opener
+    # Shared seek pays the token round trip; solo seek is local.
+    assert min(shared.values()) > 100 * solo[5]
+
+
+# ---------------------------------------------------------------- M_ASYNC
+def test_masync_seek_and_write_cheap(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/quad", group=range(4), mode=AccessMode.M_ASYNC
+        )
+        for i in range(5):
+            yield from cli.seek(h, (rank * 5 + i) * 4 * KB)
+            yield from cli.write(h, 4 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, *(node(r) for r in range(4)))
+    trace = tracer.finish()
+    seeks = trace.by_op(IOOp.SEEK)
+    writes = trace.by_op(IOOp.WRITE)
+    assert max(e.duration for e in seeks.events) < 1e-3
+    # Write-behind: ack before disk commit -> much faster than the
+    # synchronous small-write path (positioning + parity RMW).
+    assert max(e.duration for e in writes.events) < 0.3
+
+
+def test_masync_data_integrity_disjoint_writers(small_world):
+    eng, machine, pfs, tracer = small_world
+    tokens = {}
+    read_back = {}
+
+    def writer(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/quad", group=range(4), mode=AccessMode.M_ASYNC
+        )
+        yield from cli.seek(h, rank * 10 * KB)
+        tokens[rank] = yield from cli.write(h, 10 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, *(writer(r) for r in range(4)))
+
+    def reader():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/quad")
+        for rank in range(4):
+            yield from cli.seek(h, rank * 10 * KB)
+            extents = yield from cli.read(h, 10 * KB)
+            read_back[rank] = [e.token for e in extents]
+        yield from cli.close(h)
+
+    run_procs(eng, reader())
+    for rank in range(4):
+        assert read_back[rank] == [tokens[rank]]
+
+
+# ---------------------------------------------------------------- M_RECORD
+def test_mrecord_fixed_size_enforced(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/rec", group=range(2), mode=AccessMode.M_RECORD
+        )
+        yield from cli.write(h, 64 * KB)
+        try:
+            yield from cli.write(h, 32 * KB)
+        except AccessModeError:
+            caught.append(rank)
+        yield from cli.close(h)
+
+    run_procs(eng, node(0), node(1))
+    assert sorted(caught) == [0, 1]
+
+
+def test_mrecord_node_ordered_rounds(small_world):
+    """M_RECORD requests are issued in node order each round."""
+    eng, machine, pfs, tracer = small_world
+    issue_order = []
+
+    def node(rank, delay):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/rec", group=range(3), mode=AccessMode.M_RECORD
+        )
+        # Stagger arrivals so rank order != arrival order.
+        yield eng.timeout(delay)
+        yield from cli.write(h, 64 * KB)
+        issue_order.append(rank)
+        yield from cli.close(h)
+
+    run_procs(eng, node(0, 0.3), node(1, 0.2), node(2, 0.1))
+    assert issue_order == [0, 1, 2]
+
+
+def test_mrecord_reads_distinct_records(small_world):
+    eng, machine, pfs, tracer = small_world
+    seen = {}
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/rec")
+        yield from cli.write(h, 256 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/rec", group=range(4), mode=AccessMode.M_RECORD
+        )
+        yield from cli.seek(h, rank * 64 * KB)
+        extents = yield from cli.read(h, 64 * KB)
+        seen[rank] = (extents[0].start, extents[-1].end)
+        yield from cli.close(h)
+
+    run_procs(eng, *(node(r) for r in range(4)))
+    assert seen == {
+        0: (0, 64 * KB),
+        1: (64 * KB, 128 * KB),
+        2: (128 * KB, 192 * KB),
+        3: (192 * KB, 256 * KB),
+    }
+
+
+# ---------------------------------------------------------------- M_GLOBAL
+def test_mglobal_single_physical_io(small_world):
+    """All nodes read the same data; only one disk read happens."""
+    eng, machine, pfs, tracer = small_world
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/input")
+        yield from cli.write(h, 32 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+    reads_before = sum(s.reads for s in pfs.servers)
+
+    got = {}
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/input", group=range(8), mode=AccessMode.M_GLOBAL
+        )
+        extents = yield from cli.read(h, 32 * KB)
+        got[rank] = [e.token for e in extents]
+        yield from cli.close(h)
+
+    run_procs(eng, *(node(r) for r in range(8)))
+    reads_after = sum(s.reads for s in pfs.servers)
+    # One logical read -> at most a piece per stripe, not 8x.
+    assert reads_after - reads_before <= 1
+    # Every node received the same data.
+    assert len({tuple(v) for v in got.values()}) == 1
+
+
+def test_mglobal_advances_shared_pointer(small_world):
+    eng, machine, pfs, tracer = small_world
+    rounds = {}
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/input")
+        yield from cli.write(h, 8 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/input", group=range(2), mode=AccessMode.M_GLOBAL
+        )
+        first = yield from cli.read(h, 4 * KB)
+        second = yield from cli.read(h, 4 * KB)
+        rounds[rank] = (first[0].start, second[0].start)
+        yield from cli.close(h)
+
+    run_procs(eng, node(0), node(1))
+    assert rounds[0] == (0, 4 * KB)
+    assert rounds[1] == (0, 4 * KB)
+
+
+def test_mglobal_mismatched_sizes_rejected(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def node(rank, size):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/input", group=range(2), mode=AccessMode.M_GLOBAL
+        )
+        try:
+            yield from cli.read(h, size)
+        except PFSError:
+            caught.append(rank)
+            return
+        yield from cli.close(h)
+
+    eng.process(node(0, 4 * KB))
+    eng.process(node(1, 8 * KB))
+    try:
+        eng.run()
+    except PFSError:
+        caught.append("crash")
+    assert caught
+
+
+def test_mglobal_requires_group(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/x")
+        h.state.mode = AccessMode.M_GLOBAL  # bypass setiomode: no group
+        try:
+            yield from cli.read(h, 10)
+        except AccessModeError:
+            caught.append(True)
+
+    run_procs(eng, proc())
+    assert caught == [True]
+
+
+# ---------------------------------------------------------------- M_SYNC / M_LOG
+def test_msync_shared_pointer_node_order(small_world):
+    """M_SYNC: shared pointer, node-ordered, variable sizes."""
+    eng, machine, pfs, tracer = small_world
+    regions = {}
+
+    def node(rank, size):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/sync", group=range(3), mode=AccessMode.M_SYNC
+        )
+        token = yield from cli.write(h, size)
+        regions[rank] = (size, token)
+        yield from cli.close(h)
+
+    sizes = {0: 1000, 1: 2000, 2: 500}
+    run_procs(eng, *(node(r, s) for r, s in sizes.items()))
+
+    def reader():
+        cli = pfs.client(5)
+        h = yield from cli.open("/pfs/sync")
+        extents = yield from cli.read(h, 3500)
+        regions["layout"] = [(e.start, e.end, e.token) for e in extents]
+        yield from cli.close(h)
+
+    run_procs(eng, reader())
+    # Node order despite concurrent arrival: 0 at [0,1000), 1 at
+    # [1000,3000), 2 at [3000,3500).
+    assert regions["layout"] == [
+        (0, 1000, regions[0][1]),
+        (1000, 3000, regions[1][1]),
+        (3000, 3500, regions[2][1]),
+    ]
+
+
+def test_mlog_appends_fcfs(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def node(rank, delay):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/stdout", group=range(2), mode=AccessMode.M_LOG
+        )
+        yield eng.timeout(delay)
+        yield from cli.write(h, 100)
+        yield from cli.close(h)
+
+    run_procs(eng, node(0, 0.2), node(1, 0.1))
+    # Both writes landed at distinct offsets (no overwrite).
+    state = pfs.namespace.lookup("/pfs/stdout")
+    assert state.size == 200
+    assert state.extents.covered_bytes(0, 200) == 200
+
+
+# ---------------------------------------------------------------- gopen/iomode
+def test_gopen_cheaper_than_n_opens(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def via_open(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.open("/pfs/a")
+        yield from cli.close(h)
+
+    def via_gopen(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen("/pfs/b", group=range(8))
+        yield from cli.close(h)
+
+    run_procs(eng, *(via_open(r) for r in range(8)))
+    run_procs(eng, *(via_gopen(r) for r in range(8)))
+    trace = tracer.finish()
+    open_time = sum(e.duration for e in trace.by_op(IOOp.OPEN).events)
+    gopen_time = sum(e.duration for e in trace.by_op(IOOp.GOPEN).events)
+    assert gopen_time < open_time / 4
+
+
+def test_gopen_straggler_wait_is_charged(small_world):
+    """Early gopen arrivals wait for the last group member."""
+    eng, machine, pfs, tracer = small_world
+    durations = {}
+
+    def node(rank, delay):
+        cli = pfs.client(rank)
+        yield eng.timeout(delay)
+        t0 = eng.now
+        h = yield from cli.gopen("/pfs/a", group=range(2))
+        durations[rank] = eng.now - t0
+        yield from cli.close(h)
+
+    run_procs(eng, node(0, 0.0), node(1, 5.0))
+    assert durations[0] > 4.9  # waited for the straggler
+    assert durations[1] < 1.0
+
+
+def test_setiomode_collective_and_traced(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.open("/pfs/a")
+        yield from cli.setiomode(h, AccessMode.M_RECORD, group=range(2))
+        assert h.state.mode == AccessMode.M_RECORD
+        yield from cli.close(h)
+
+    run_procs(eng, node(0), node(1))
+    iomodes = tracer.finish().by_op(IOOp.IOMODE)
+    assert len(iomodes.events) == 2
+
+
+def test_gopen_wrong_rank_rejected(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(9)
+        with pytest.raises(PFSError):
+            yield from cli.gopen("/pfs/a", group=[0, 1])
+        yield eng.timeout(0)
+
+    run_procs(eng, proc())
+
+
+# ---------------------------------------------------------------- buffering
+def test_buffered_small_sequential_reads_cheap(small_world):
+    eng, machine, pfs, tracer = small_world
+    times = {}
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        yield from cli.write(h, 128 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+
+    def reader(rank, buffered, tag):
+        cli = pfs.client(rank)
+        h = yield from cli.open("/pfs/data", buffered=buffered)
+        t0 = eng.now
+        for _ in range(100):
+            yield from cli.read(h, 40)
+        times[tag] = eng.now - t0
+        yield from cli.close(h)
+
+    run_procs(eng, reader(1, True, "buffered"))
+    run_procs(eng, reader(2, False, "unbuffered"))
+    # The paper's PRISM-C effect: unbuffered small reads are
+    # disproportionately expensive.
+    assert times["unbuffered"] > 5 * times["buffered"]
+
+
+def test_buffer_integrity_after_overwrite(small_world):
+    """A write invalidates stale client buffers (strict coherence)."""
+    eng, machine, pfs, tracer = small_world
+    observed = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        t1 = yield from cli.write(h, 4 * KB)
+        yield from cli.seek(h, 0)
+        first = yield from cli.read(h, 100)
+        yield from cli.seek(h, 0)
+        t2 = yield from cli.write(h, 4 * KB)
+        yield from cli.seek(h, 0)
+        second = yield from cli.read(h, 100)
+        observed["first"] = first[0].token
+        observed["second"] = second[0].token
+        observed["tokens"] = (t1, t2)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert observed["first"] == observed["tokens"][0]
+    assert observed["second"] == observed["tokens"][1]
+
+
+def test_unbuffered_reads_bypass_server_cache(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def writer():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/data")
+        yield from cli.write(h, 4 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, writer())
+    hits_before = sum(s.cache.hits for s in pfs.servers)
+
+    def reader():
+        cli = pfs.client(1)
+        h = yield from cli.open("/pfs/data", buffered=False)
+        for _ in range(10):
+            yield from cli.seek(h, 0)
+            yield from cli.read(h, 40)
+        yield from cli.close(h)
+
+    run_procs(eng, reader())
+    assert sum(s.cache.hits for s in pfs.servers) == hits_before
+
+
+def test_large_read_chunked_through_buffer(small_world):
+    """With buffering on, a >buffer read is fetched in buffer-size
+    chunks (why PRISM-C disabled buffering for the restart body)."""
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/restart")
+        yield from cli.write(h, 256 * KB)
+        yield from cli.seek(h, 0)
+        extents = yield from cli.read(h, 155584)
+        got["bytes"] = sum(e.end - e.start for e in extents)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert got["bytes"] == 155584

@@ -1,0 +1,276 @@
+"""Additional PFS coverage: namespace, positional I/O, collectives,
+buffers, and cost-model validation."""
+
+import pytest
+
+from repro.errors import (
+    AccessModeError,
+    FileNotFoundError_,
+    PFSError,
+)
+from repro.pfs import AccessMode, PFSCostModel
+from repro.pfs.buffering import ReadBuffer
+from repro.pfs.collective import CollectiveRegistry
+from repro.units import KB
+
+from tests.conftest import run_procs
+
+
+# ---------------------------------------------------------------- namespace
+def test_namespace_lookup_missing(small_world):
+    eng, machine, pfs, tracer = small_world
+    with pytest.raises(FileNotFoundError_):
+        pfs.namespace.lookup("/pfs/nothing")
+
+
+def test_namespace_create_and_unlink(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/scratch")
+        yield from cli.write(h, 100)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert pfs.namespace.exists("/pfs/scratch")
+    pfs.namespace.unlink("/pfs/scratch")
+    assert not pfs.namespace.exists("/pfs/scratch")
+    with pytest.raises(FileNotFoundError_):
+        pfs.namespace.unlink("/pfs/scratch")
+
+
+def test_namespace_unlink_open_file_rejected(small_world):
+    eng, machine, pfs, tracer = small_world
+    handles = {}
+
+    def proc():
+        cli = pfs.client(0)
+        handles["h"] = yield from cli.open("/pfs/held")
+
+    run_procs(eng, proc())
+    with pytest.raises(PFSError):
+        pfs.namespace.unlink("/pfs/held")
+
+
+def test_namespace_distinct_disk_bases(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        for name in ("a", "b", "c"):
+            h = yield from cli.open(f"/pfs/{name}")
+            yield from cli.close(h)
+
+    run_procs(eng, proc())
+    bases = {
+        pfs.namespace.lookup(f"/pfs/{n}").layout.disk_base
+        for n in ("a", "b", "c")
+    }
+    assert len(bases) == 3
+
+
+# ---------------------------------------------------------------- positional
+def test_pread_pwrite_roundtrip(small_world):
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/pos")
+        token = yield from cli.pwrite(h, 10 * KB, 4 * KB)
+        # The pointer is untouched by positional I/O.
+        assert h.offset == 0
+        extents = yield from cli.pread(h, 10 * KB, 4 * KB)
+        got["tokens"] = (token, [e.token for e in extents])
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    token, read_back = got["tokens"]
+    assert read_back == [token]
+
+
+def test_positional_io_rejected_in_coordination_modes(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def node(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen(
+            "/pfs/rec", group=range(2), mode=AccessMode.M_RECORD
+        )
+        try:
+            yield from cli.pwrite(h, 0, 64 * KB)
+        except AccessModeError:
+            caught.append(rank)
+        yield from cli.close(h)
+
+    run_procs(eng, node(0), node(1))
+    assert sorted(caught) == [0, 1]
+
+
+def test_pwrite_invalid_args(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/pos")
+        with pytest.raises(PFSError):
+            yield from cli.pwrite(h, -1, 100)
+        with pytest.raises(PFSError):
+            yield from cli.pread(h, 0, -100)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+# ---------------------------------------------------------------- collectives
+def test_collective_registry_matches_by_sequence(small_world):
+    eng, machine, pfs, tracer = small_world
+    reg = CollectiveRegistry(eng)
+    leader0, call0 = reg.join("t", rank=0, parties=2)
+    assert not leader0
+    leader1, call1 = reg.join("t", rank=1, parties=2)
+    assert leader1 and call1 is call0
+    # Next generation is a fresh call.
+    leader0b, call0b = reg.join("t", rank=0, parties=2)
+    assert not leader0b and call0b is not call0
+
+
+def test_collective_registry_rank_recalls_start_new_instance(small_world):
+    """A rank calling again joins the *next* collective instance (its
+    i-th call matches everyone else's i-th call)."""
+    eng, machine, pfs, tracer = small_world
+    reg = CollectiveRegistry(eng)
+    _, call_a = reg.join("t", rank=0, parties=3)
+    _, call_b = reg.join("t", rank=0, parties=3)
+    assert call_a is not call_b
+    assert call_a.sequence == 0 and call_b.sequence == 1
+
+
+def test_collective_registry_rejects_group_size_mismatch(small_world):
+    eng, machine, pfs, tracer = small_world
+    reg = CollectiveRegistry(eng)
+    reg.join("t", rank=0, parties=2)
+    with pytest.raises(PFSError):
+        reg.join("t", rank=1, parties=3)
+
+
+def test_gopen_group_mismatch_detected(small_world):
+    eng, machine, pfs, tracer = small_world
+    caught = []
+
+    def node(rank, group):
+        cli = pfs.client(rank)
+        try:
+            yield from cli.gopen("/pfs/g", group=group)
+        except PFSError:
+            caught.append(rank)
+
+    eng.process(node(0, [0, 1]))
+    eng.process(node(1, [0, 1, 2]))
+    try:
+        eng.run()
+    except PFSError:
+        caught.append("crash")
+    assert caught
+
+
+# ---------------------------------------------------------------- buffer
+def test_read_buffer_covers_and_serves(small_world):
+    eng, machine, pfs, tracer = small_world
+    state_holder = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/buf")
+        yield from cli.write(h, 8 * KB)
+        state_holder["state"] = h.state
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    state = state_holder["state"]
+    buffer = ReadBuffer(state, size=4 * KB)
+    assert not buffer.covers(0, 100)
+    extents = state.extents.read(0, 4 * KB)
+    buffer.install(0, 4 * KB, extents)
+    assert buffer.covers(0, 4 * KB)
+    assert not buffer.covers(0, 4 * KB + 1)
+    served = buffer.serve(100, 200)
+    assert sum(e.end - e.start for e in served) == 200
+    assert buffer.stats.hits == 1 and buffer.stats.misses == 1
+
+
+def test_read_buffer_generation_invalidates(small_world):
+    eng, machine, pfs, tracer = small_world
+    holder = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/buf")
+        yield from cli.write(h, 4 * KB)
+        holder["state"] = h.state
+        buffer = ReadBuffer(h.state, size=4 * KB)
+        buffer.install(0, 4 * KB, h.state.extents.read(0, 4 * KB))
+        assert buffer.covers(0, 100)
+        yield from cli.write(h, 100)  # any write bumps the generation
+        assert not buffer.covers(0, 100)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_read_buffer_serve_uncovered_raises(small_world):
+    eng, machine, pfs, tracer = small_world
+    holder = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/buf")
+        yield from cli.write(h, KB)
+        holder["state"] = h.state
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    buffer = ReadBuffer(holder["state"], size=KB)
+    with pytest.raises(PFSError):
+        buffer.serve(0, 10)
+
+
+# ---------------------------------------------------------------- costs
+def test_cost_model_validation():
+    with pytest.raises(PFSError):
+        PFSCostModel(open_service=-1).validate()
+    model = PFSCostModel().replace(open_service=0.1)
+    assert model.open_service == 0.1
+    with pytest.raises(PFSError):
+        PFSCostModel().replace(seek_shared_service=-0.5)
+
+
+def test_cost_model_override_changes_behaviour(small_world):
+    """A PFS built with a huge open cost shows it in the trace."""
+    from repro.machine import MachineConfig, ParagonXPS
+    from repro.pablo import IOOp, Tracer
+    from repro.pfs import PFS
+    from repro.sim import Engine
+
+    def open_duration(open_service):
+        eng = Engine()
+        machine = ParagonXPS(eng, MachineConfig(
+            mesh_cols=2, mesh_rows=2, n_compute_nodes=4, n_io_nodes=2,
+        ))
+        tracer = Tracer()
+        pfs = PFS(eng, machine,
+                  costs=PFSCostModel().replace(open_service=open_service),
+                  tracer=tracer)
+
+        def proc():
+            cli = pfs.client(0)
+            h = yield from cli.open("/pfs/x")
+            yield from cli.close(h)
+
+        eng.process(proc())
+        eng.run()
+        return tracer.finish().by_op(IOOp.OPEN).events[0].duration
+
+    assert open_duration(2.0) > 10 * open_duration(0.05)

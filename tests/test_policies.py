@@ -1,0 +1,285 @@
+"""Tests for the design-principle policy layer."""
+
+import pytest
+
+from repro.errors import PFSError
+from repro.pablo import IOOp
+from repro.pfs import AccessMode
+from repro.policies import (
+    AccessPatternClassifier,
+    AdaptivePolicy,
+    DelayedWriteBuffer,
+    PatternClass,
+    SequentialPrefetcher,
+    WriteAggregator,
+)
+from repro.units import KB
+
+from tests.conftest import run_procs
+
+
+# ------------------------------------------------------------- aggregator
+def test_aggregator_coalesces_sequential_writes(small_world):
+    eng, machine, pfs, tracer = small_world
+    stats = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg")
+        agg = WriteAggregator(cli, h)
+        for _ in range(96):  # 96 x 2KB = 192KB = 3 stripes
+            yield from agg.write(2 * KB)
+        yield from agg.flush()
+        stats["physical"] = agg.physical_writes
+        stats["ratio"] = agg.aggregation_ratio
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert stats["physical"] == 3
+    assert stats["ratio"] == pytest.approx(32.0)
+    # The traced physical writes are stripe-sized.
+    writes = tracer.finish().by_op(IOOp.WRITE)
+    assert {e.nbytes for e in writes.events} == {64 * KB}
+
+
+def test_aggregator_preserves_data(small_world):
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg")
+        agg = WriteAggregator(cli, h)
+        for _ in range(10):
+            yield from agg.write(1000)
+        yield from agg.flush()
+        yield from cli.seek(h, 0)
+        extents = yield from cli.read(h, 10 * 1000)
+        got["covered"] = sum(e.end - e.start for e in extents)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert got["covered"] == 10000
+
+
+def test_aggregator_flushes_on_nonsequential_write(small_world):
+    eng, machine, pfs, tracer = small_world
+    stats = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg")
+        agg = WriteAggregator(cli, h)
+        yield from agg.write(1000)
+        yield from cli.seek(h, 50_000)  # break sequentiality
+        yield from agg.write(1000)
+        yield from agg.flush()
+        stats["physical"] = agg.physical_writes
+        state = h.state
+        stats["covered"] = state.extents.covered_bytes(0, 1000) + \
+            state.extents.covered_bytes(50_000, 51_000)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert stats["physical"] == 2
+    assert stats["covered"] == 2000
+
+
+def test_aggregator_invalid_threshold(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg")
+        with pytest.raises(PFSError):
+            WriteAggregator(cli, h, threshold=0)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+# ------------------------------------------------------------- prefetcher
+def test_prefetcher_populates_server_cache(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def setup():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/pf")
+        yield from cli.write(h, 256 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, setup())
+    hits_before = sum(s.cache.hits for s in pfs.servers)
+
+    def reader():
+        cli = pfs.client(1)
+        h = yield from cli.open("/pfs/pf", buffered=False)
+        pf = SequentialPrefetcher(cli, h, depth=2)
+        for _ in range(64):
+            yield from pf.read(4 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, reader())
+    assert sum(s.cache.hits for s in pfs.servers) > hits_before
+
+
+def test_prefetcher_returns_correct_data(small_world):
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/pf")
+        token = yield from cli.write(h, 64 * KB)
+        yield from cli.seek(h, 0)
+        pf = SequentialPrefetcher(cli, h)
+        extents = yield from pf.read(1 * KB)
+        got["token"] = token
+        got["extents"] = extents
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert [e.token for e in got["extents"]] == [got["token"]]
+
+
+def test_prefetcher_invalid_depth(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/pf")
+        with pytest.raises(PFSError):
+            SequentialPrefetcher(cli, h, depth=0)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+# ------------------------------------------------------------ write-behind
+def test_delayed_writes_complete_after_drain(small_world):
+    eng, machine, pfs, tracer = small_world
+    got = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.gopen("/pfs/wb", group=[0], mode=AccessMode.M_ASYNC)
+        buf = DelayedWriteBuffer(cli, h, max_outstanding=4)
+        for _ in range(16):
+            yield from buf.write(4 * KB)
+        yield from buf.drain()
+        got["size"] = h.state.size
+        got["covered"] = h.state.extents.covered_bytes(0, 16 * 4 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert got["size"] == 16 * 4 * KB
+    assert got["covered"] == 16 * 4 * KB
+
+
+def test_delayed_writes_apply_backpressure(small_world):
+    eng, machine, pfs, tracer = small_world
+    stats = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.gopen("/pfs/wb", group=[0], mode=AccessMode.M_ASYNC)
+        buf = DelayedWriteBuffer(cli, h, max_outstanding=2)
+        for _ in range(20):
+            yield from buf.write(4 * KB)
+        yield from buf.drain()
+        stats["blocked"] = buf.blocked_on_backpressure
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert stats["blocked"] > 0
+
+
+def test_delayed_write_invalid_outstanding(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/wb")
+        with pytest.raises(PFSError):
+            DelayedWriteBuffer(cli, h, max_outstanding=0)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+# ------------------------------------------------------------- classifier
+def test_classifier_small_sequential():
+    c = AccessPatternClassifier()
+    for i in range(8):
+        c.observe(i * 100, 100)
+    assert c.classify() == PatternClass.SMALL_SEQUENTIAL
+
+
+def test_classifier_large_sequential():
+    c = AccessPatternClassifier()
+    for i in range(8):
+        c.observe(i * 64 * KB, 64 * KB)
+    assert c.classify() == PatternClass.LARGE_SEQUENTIAL
+
+
+def test_classifier_strided():
+    c = AccessPatternClassifier()
+    for i in range(8):
+        c.observe(i * 1000, 100)  # gap of 900 between requests
+    assert c.classify() == PatternClass.STRIDED
+
+
+def test_classifier_random():
+    c = AccessPatternClassifier()
+    for off in (0, 91_000, 3_000, 77_000, 15_000, 60_001, 9_000, 44_000):
+        c.observe(off, 100)
+    assert c.classify() == PatternClass.RANDOM
+
+
+def test_classifier_unknown_until_warm():
+    c = AccessPatternClassifier()
+    c.observe(0, 100)
+    assert c.classify() == PatternClass.UNKNOWN
+
+
+def test_classifier_window_slides():
+    c = AccessPatternClassifier(window=8)
+    for off in (0, 50_000, 1_000, 90_000, 7_000, 30_000, 62_000, 11_000):
+        c.observe(off, 100)
+    assert c.classify() == PatternClass.RANDOM
+    # Now feed a long sequential run: the window forgets the noise.
+    pos = 0
+    for _ in range(8):
+        c.observe(pos, 100)
+        pos += 100
+    assert c.classify() == PatternClass.SMALL_SEQUENTIAL
+
+
+def test_classifier_invalid_window():
+    with pytest.raises(PFSError):
+        AccessPatternClassifier(window=2)
+
+
+# ---------------------------------------------------------------- adaptive
+def test_adaptive_policy_switches_and_preserves_data(small_world):
+    eng, machine, pfs, tracer = small_world
+    log = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/adaptive")
+        policy = AdaptivePolicy(cli, h)
+        for _ in range(40):
+            yield from policy.write(1 * KB)
+        yield from policy.finish()
+        yield from cli.seek(h, 0)
+        for _ in range(40):
+            yield from policy.read(1 * KB)
+        log["decisions"] = [d for _, d, _ in policy.decisions]
+        log["covered"] = h.state.extents.covered_bytes(0, 40 * KB)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert "enable-aggregation" in log["decisions"]
+    assert "enable-prefetch" in log["decisions"]
+    assert log["covered"] == 40 * KB

@@ -1,0 +1,115 @@
+"""Tests for trace-driven replay."""
+
+import pytest
+
+from repro.apps import run_escat, run_prism, scaled_escat_problem, scaled_prism_problem
+from repro.core import io_time_breakdown
+from repro.errors import TraceError
+from repro.machine import MachineConfig
+from repro.pablo import IOOp, Trace
+from repro.replay import TraceReplayer, replay_trace
+
+SMALL_MACHINE = MachineConfig(
+    mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+)
+
+
+@pytest.fixture(scope="module")
+def escat_c_trace():
+    problem = scaled_escat_problem(n_nodes=8, records_per_channel=16)
+    return run_escat("C", problem)
+
+
+def test_replay_same_config_reproduces_op_mix(escat_c_trace):
+    result = replay_trace(
+        escat_c_trace.trace, machine_config=SMALL_MACHINE
+    )
+    orig = io_time_breakdown(escat_c_trace.trace)
+    replayed = io_time_breakdown(result.replayed)
+    # Same operation counts (plus the final safety closes).
+    for op in (IOOp.READ, IOOp.WRITE, IOOp.SEEK, IOOp.GOPEN, IOOp.IOMODE):
+        assert replayed.counts.get(op, 0) == orig.counts.get(op, 0), op
+    # Same bytes moved.
+    assert result.replayed.total_bytes == escat_c_trace.trace.total_bytes
+
+
+def test_replay_preserves_modes(escat_c_trace):
+    result = replay_trace(
+        escat_c_trace.trace, machine_config=SMALL_MACHINE
+    )
+    orig_modes = {
+        (e.op, e.mode) for e in escat_c_trace.trace.events
+        if e.op in (IOOp.READ, IOOp.WRITE)
+    }
+    new_modes = {
+        (e.op, e.mode) for e in result.replayed.events
+        if e.op in (IOOp.READ, IOOp.WRITE)
+    }
+    assert orig_modes == new_modes
+
+
+def test_replay_more_io_nodes_speeds_up(escat_c_trace):
+    """The point of replay: evaluate a machine change from a trace."""
+    slow = replay_trace(
+        escat_c_trace.trace,
+        machine_config=MachineConfig(
+            mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=1
+        ),
+        think_time_scale=0.0,
+    )
+    fast = replay_trace(
+        escat_c_trace.trace,
+        machine_config=MachineConfig(
+            mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=8
+        ),
+        think_time_scale=0.0,
+    )
+    assert fast.replayed_io_time < slow.replayed_io_time
+
+
+def test_replay_think_time_scale_zero_compresses_wall(escat_c_trace):
+    preserved = replay_trace(
+        escat_c_trace.trace, machine_config=SMALL_MACHINE,
+        think_time_scale=1.0,
+    )
+    compressed = replay_trace(
+        escat_c_trace.trace, machine_config=SMALL_MACHINE,
+        think_time_scale=0.0,
+    )
+    # At mini scale I/O dominates the replay, so compression buys a
+    # modest but strict improvement.
+    assert compressed.wall_time < preserved.wall_time
+
+
+def test_replay_prism_trace_with_collectives():
+    problem = scaled_prism_problem(n_nodes=8, steps=10, checkpoint_every=5)
+    original = run_prism("B", problem)
+    result = replay_trace(original.trace, machine_config=SMALL_MACHINE)
+    orig = io_time_breakdown(original.trace)
+    replayed = io_time_breakdown(result.replayed)
+    assert replayed.counts[IOOp.IOMODE] == orig.counts[IOOp.IOMODE]
+    assert replayed.counts[IOOp.READ] == orig.counts[IOOp.READ]
+    # M_GLOBAL and M_RECORD survive the round trip.
+    modes = {e.mode for e in result.replayed.by_op(IOOp.READ).events}
+    assert "M_GLOBAL" in modes and "M_RECORD" in modes
+
+
+def test_replay_rejects_too_small_machine(escat_c_trace):
+    with pytest.raises(TraceError):
+        TraceReplayer(
+            escat_c_trace.trace,
+            machine_config=MachineConfig(
+                mesh_cols=2, mesh_rows=2, n_compute_nodes=4, n_io_nodes=2
+            ),
+        ).run()
+
+
+def test_replay_rejects_negative_scale(escat_c_trace):
+    with pytest.raises(TraceError):
+        TraceReplayer(escat_c_trace.trace, think_time_scale=-1.0)
+
+
+def test_replay_empty_trace():
+    result = replay_trace(Trace([]), machine_config=SMALL_MACHINE)
+    assert len(result.replayed) == 0
+    assert result.io_time_ratio == float("inf")

@@ -1,0 +1,277 @@
+"""Edge-case tests for the DES kernel: failures, interrupts, and
+composition corners."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Barrier,
+    Engine,
+    FilterStore,
+    Interrupt,
+    Resource,
+    Store,
+)
+
+
+def test_all_of_fails_if_member_fails():
+    eng = Engine()
+    caught = []
+
+    def failer(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("member died")
+
+    def waiter(eng, p1, p2):
+        try:
+            yield eng.all_of([p1, p2])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    p1 = eng.process(failer(eng))
+    p2 = eng.process((eng.timeout(5.0) for _ in range(1)))
+
+    # Wrap timeouts in a real process for p2.
+    def sleeper(eng):
+        yield eng.timeout(5.0)
+
+    p2 = eng.process(sleeper(eng))
+    eng.process(waiter(eng, p1, p2))
+    eng.run()
+    assert caught == ["member died"]
+
+
+def test_any_of_failure_propagates_if_first():
+    eng = Engine()
+    caught = []
+
+    def failer(eng):
+        yield eng.timeout(1.0)
+        raise ValueError("fast failure")
+
+    def sleeper(eng):
+        yield eng.timeout(10.0)
+
+    def waiter(eng, p1, p2):
+        try:
+            yield eng.any_of([p1, p2])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    p1 = eng.process(failer(eng))
+    p2 = eng.process(sleeper(eng))
+    eng.process(waiter(eng, p1, p2))
+    eng.run()
+    assert caught == ["fast failure"]
+
+
+def test_interrupt_while_waiting_on_resource():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    log = []
+
+    def holder(eng, res):
+        with res.request() as req:
+            yield req
+            yield eng.timeout(10.0)
+
+    def waiter(eng, res):
+        req = res.request()
+        try:
+            yield req
+            log.append("granted")
+        except Interrupt:
+            log.append("interrupted")
+            res.release(req)  # withdraw from the queue
+
+    def interrupter(eng, victim):
+        yield eng.timeout(1.0)
+        victim.interrupt()
+
+    eng.process(holder(eng, res))
+    victim = eng.process(waiter(eng, res))
+    eng.process(interrupter(eng, victim))
+    eng.run()
+    assert log == ["interrupted"]
+    assert len(res.queue) == 0  # withdrawn, not leaked
+
+
+def test_interrupt_handled_and_continue():
+    eng = Engine()
+    log = []
+
+    def resilient(eng):
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as intr:
+            log.append(intr.cause)
+        yield eng.timeout(1.0)
+        log.append(eng.now)
+
+    def interrupter(eng, victim):
+        yield eng.timeout(2.0)
+        victim.interrupt("poke")
+
+    victim = eng.process(resilient(eng))
+    eng.process(interrupter(eng, victim))
+    eng.run()
+    assert log == ["poke", 3.0]
+
+
+def test_nested_process_failure_propagates_to_parent():
+    eng = Engine()
+    caught = []
+
+    def child(eng):
+        yield eng.timeout(1.0)
+        raise KeyError("child exploded")
+
+    def parent(eng):
+        try:
+            yield eng.process(child(eng))
+        except KeyError:
+            caught.append("handled in parent")
+
+    eng.process(parent(eng))
+    eng.run()
+    assert caught == ["handled in parent"]
+
+
+def test_event_failure_without_waiter_crashes_run():
+    eng = Engine()
+
+    def firer(eng, ev):
+        yield eng.timeout(1.0)
+        ev.fail(RuntimeError("nobody listening"))
+
+    ev = eng.event()
+    eng.process(firer(eng, ev))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        eng.run()
+
+
+def test_event_failure_defused_does_not_crash():
+    eng = Engine()
+
+    def firer(eng, ev):
+        yield eng.timeout(1.0)
+        ev.fail(RuntimeError("handled elsewhere"))
+
+    ev = eng.event()
+    ev.defuse()
+    eng.process(firer(eng, ev))
+    eng.run()
+    assert not ev.ok
+
+
+def test_condition_value_mapping_api():
+    eng = Engine()
+    seen = {}
+
+    def proc(eng):
+        t1 = eng.timeout(1.0, value="one")
+        t2 = eng.timeout(2.0, value="two")
+        result = yield eng.all_of([t1, t2])
+        seen["len"] = len(result)
+        seen["t1"] = result[t1]
+        seen["items"] = [result[e] for e in result]
+
+    eng.process(proc(eng))
+    eng.run()
+    assert seen["len"] == 2
+    assert seen["t1"] == "one"
+    assert seen["items"] == ["one", "two"]
+
+
+def test_condition_value_unknown_event_keyerror():
+    eng = Engine()
+    errors = []
+
+    def proc(eng):
+        t1 = eng.timeout(1.0)
+        stranger = eng.timeout(1.5)
+        result = yield eng.all_of([t1])
+        try:
+            result[stranger]
+        except KeyError:
+            errors.append("keyerror")
+
+    eng.process(proc(eng))
+    eng.run()
+    assert errors == ["keyerror"]
+
+
+def test_store_put_get_same_instant_ordering():
+    eng = Engine()
+    got = []
+
+    def both(eng, store):
+        yield store.put("x")
+        got.append((yield store.get()))
+
+    eng.process(both(eng, Store(eng)))
+    eng.run()
+    assert got == ["x"]
+
+
+def test_filter_store_predicate_exception_surfaces():
+    eng = Engine()
+    store = FilterStore(eng)
+
+    def bad_pred(item):
+        raise RuntimeError("predicate bug")
+
+    def consumer(eng, store):
+        yield store.get(bad_pred)
+
+    def producer(eng, store):
+        yield store.put(1)
+
+    eng.process(consumer(eng, store))
+    eng.process(producer(eng, store))
+    with pytest.raises(RuntimeError, match="predicate bug"):
+        eng.run()
+
+
+def test_barrier_more_arrivals_than_parties_wraps():
+    eng = Engine()
+    bar = Barrier(eng, parties=2)
+    cycles = []
+
+    def party(eng, bar, n):
+        for _ in range(n):
+            cycles.append((yield bar.wait()))
+
+    eng.process(party(eng, bar, 2))
+    eng.process(party(eng, bar, 2))
+    eng.run()
+    assert sorted(cycles) == [0, 0, 1, 1]
+
+
+def test_run_until_event_that_fails():
+    eng = Engine()
+
+    def failer(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("terminal")
+
+    p = eng.process(failer(eng))
+    with pytest.raises(RuntimeError, match="terminal"):
+        eng.run(until=p)
+
+
+def test_zero_delay_timeout_runs_in_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, tag):
+        yield eng.timeout(0.0)
+        order.append(tag)
+
+    for tag in ("a", "b"):
+        eng.process(proc(eng, tag))
+    eng.run()
+    assert order == ["a", "b"]
+    assert eng.now == 0.0

@@ -1,0 +1,446 @@
+"""Unit tests for resources, stores, and synchronization primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Barrier,
+    Engine,
+    FilterStore,
+    Gate,
+    Lock,
+    PriorityResource,
+    Resource,
+    Semaphore,
+    Store,
+    TurnTaker,
+)
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_serializes_at_capacity_one():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    spans = []
+
+    def worker(eng, res, name):
+        with res.request() as req:
+            yield req
+            start = eng.now
+            yield eng.timeout(2.0)
+            spans.append((name, start, eng.now))
+
+    for name in ("a", "b", "c"):
+        eng.process(worker(eng, res, name))
+    eng.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0), ("c", 4.0, 6.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    starts = []
+
+    def worker(eng, res):
+        with res.request() as req:
+            yield req
+            starts.append(eng.now)
+            yield eng.timeout(1.0)
+
+    for _ in range(4):
+        eng.process(worker(eng, res))
+    eng.run()
+    assert starts == [0.0, 0.0, 1.0, 1.0]
+
+
+def test_resource_invalid_capacity():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Resource(eng, capacity=0)
+
+
+def test_resource_release_pending_request_withdraws():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    holder = res.request()
+    assert holder.triggered
+    pending = res.request()
+    assert not pending.triggered
+    res.release(pending)  # withdraw from queue
+    res.release(holder)
+    third = res.request()
+    assert third.triggered
+    assert pending not in res.users
+
+
+def test_resource_count_property():
+    eng = Engine()
+    res = Resource(eng, capacity=3)
+    reqs = [res.request() for _ in range(5)]
+    assert res.count == 3
+    res.release(reqs[0])
+    assert res.count == 3  # a queued request was promoted
+    assert reqs[3].triggered
+
+
+def test_priority_resource_orders_by_priority():
+    eng = Engine()
+    res = PriorityResource(eng, capacity=1)
+    order = []
+
+    def worker(eng, res, rank):
+        # All request at t=0 while the resource is held.
+        req = res.request(priority=rank)
+        yield req
+        order.append(rank)
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    def seed(eng, res):
+        req = res.request(priority=-1)
+        yield req
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    eng.process(seed(eng, res))
+    for rank in (3, 0, 2, 1):
+        eng.process(worker(eng, res, rank))
+    eng.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_priority_resource_fifo_within_priority():
+    eng = Engine()
+    res = PriorityResource(eng, capacity=1)
+    seed = res.request(priority=0)
+    first = res.request(priority=5)
+    second = res.request(priority=5)
+    res.release(seed)
+    assert first.triggered and not second.triggered
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_get_fifo():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def producer(eng, store):
+        for i in range(3):
+            yield store.put(i)
+            yield eng.timeout(1.0)
+
+    def consumer(eng, store):
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    eng.process(producer(eng, store))
+    eng.process(consumer(eng, store))
+    eng.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    times = []
+
+    def consumer(eng, store):
+        item = yield store.get()
+        times.append((item, eng.now))
+
+    def producer(eng, store):
+        yield eng.timeout(5.0)
+        yield store.put("x")
+
+    eng.process(consumer(eng, store))
+    eng.process(producer(eng, store))
+    eng.run()
+    assert times == [("x", 5.0)]
+
+
+def test_store_capacity_blocks_put():
+    eng = Engine()
+    store = Store(eng, capacity=1)
+    log = []
+
+    def producer(eng, store):
+        yield store.put("a")
+        log.append(("put-a", eng.now))
+        yield store.put("b")
+        log.append(("put-b", eng.now))
+
+    def consumer(eng, store):
+        yield eng.timeout(3.0)
+        yield store.get()
+
+    eng.process(producer(eng, store))
+    eng.process(consumer(eng, store))
+    eng.run()
+    assert log == [("put-a", 0.0), ("put-b", 3.0)]
+
+
+def test_store_invalid_capacity():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Store(eng, capacity=0)
+
+
+def test_filter_store_selects_matching():
+    eng = Engine()
+    store = FilterStore(eng)
+    got = []
+
+    def consumer(eng, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(eng, store):
+        yield store.put(1)
+        yield store.put(3)
+        yield store.put(4)
+
+    eng.process(consumer(eng, store))
+    eng.process(producer(eng, store))
+    eng.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_blocked_getter_does_not_starve():
+    eng = Engine()
+    store = FilterStore(eng)
+    got = []
+
+    def want(eng, store, pred, tag):
+        item = yield store.get(pred)
+        got.append((tag, item))
+
+    eng.process(want(eng, store, lambda x: x == "never", "blocked"))
+    eng.process(want(eng, store, lambda x: x == "yes", "served"))
+
+    def producer(eng, store):
+        yield store.put("yes")
+
+    eng.process(producer(eng, store))
+    eng.run()
+    assert got == [("served", "yes")]
+
+
+# ---------------------------------------------------------------- Sync
+def test_barrier_releases_all_at_last_arrival():
+    eng = Engine()
+    bar = Barrier(eng, parties=3)
+    release_times = []
+
+    def party(eng, bar, delay):
+        yield eng.timeout(delay)
+        yield bar.wait()
+        release_times.append(eng.now)
+
+    for d in (1.0, 2.0, 7.0):
+        eng.process(party(eng, bar, d))
+    eng.run()
+    assert release_times == [7.0, 7.0, 7.0]
+
+
+def test_barrier_reusable_across_cycles():
+    eng = Engine()
+    bar = Barrier(eng, parties=2)
+    cycles = []
+
+    def party(eng, bar):
+        for _ in range(3):
+            cycle = yield bar.wait()
+            cycles.append(cycle)
+            yield eng.timeout(1.0)
+
+    eng.process(party(eng, bar))
+    eng.process(party(eng, bar))
+    eng.run()
+    assert sorted(cycles) == [0, 0, 1, 1, 2, 2]
+    assert bar.cycle == 3
+
+
+def test_barrier_single_party_is_noop():
+    eng = Engine()
+    bar = Barrier(eng, parties=1)
+    done = []
+
+    def party(eng, bar):
+        yield bar.wait()
+        done.append(eng.now)
+
+    eng.process(party(eng, bar))
+    eng.run()
+    assert done == [0.0]
+
+
+def test_barrier_invalid_parties():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Barrier(eng, parties=0)
+
+
+def test_turn_taker_enforces_rank_order():
+    eng = Engine()
+    tt = TurnTaker(eng, parties=4)
+    order = []
+
+    def node(eng, tt, rank, arrival):
+        yield eng.timeout(arrival)
+        yield tt.wait_turn(rank)
+        order.append(rank)
+        yield eng.timeout(0.5)
+        tt.done(rank)
+
+    # Arrive in scrambled order; service must be 0,1,2,3.
+    arrivals = {0: 3.0, 1: 1.0, 2: 0.0, 3: 2.0}
+    for rank, arrival in arrivals.items():
+        eng.process(node(eng, tt, rank, arrival))
+    eng.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_turn_taker_cycles_rounds():
+    eng = Engine()
+    tt = TurnTaker(eng, parties=2)
+    rounds = []
+
+    def node(eng, tt, rank):
+        for _ in range(2):
+            rnd = yield tt.wait_turn(rank)
+            rounds.append((rank, rnd))
+            tt.done(rank)
+            yield eng.timeout(0.1)
+
+    eng.process(node(eng, tt, 0))
+    eng.process(node(eng, tt, 1))
+    eng.run()
+    assert (0, 0) in rounds and (1, 0) in rounds
+    assert (0, 1) in rounds and (1, 1) in rounds
+
+
+def test_turn_taker_done_out_of_turn_raises():
+    eng = Engine()
+    tt = TurnTaker(eng, parties=2)
+    with pytest.raises(SimulationError):
+        tt.done(1)
+
+
+def test_turn_taker_invalid_rank():
+    eng = Engine()
+    tt = TurnTaker(eng, parties=2)
+    with pytest.raises(SimulationError):
+        tt.wait_turn(5)
+
+
+def test_lock_mutual_exclusion():
+    eng = Engine()
+    lock = Lock(eng)
+    spans = []
+
+    def worker(eng, lock, name):
+        yield lock.acquire()
+        start = eng.now
+        yield eng.timeout(1.0)
+        spans.append((name, start, eng.now))
+        lock.release()
+
+    for name in ("a", "b"):
+        eng.process(worker(eng, lock, name))
+    eng.run()
+    assert spans == [("a", 0.0, 1.0), ("b", 1.0, 2.0)]
+    assert not lock.locked
+
+
+def test_lock_release_unheld_raises():
+    eng = Engine()
+    lock = Lock(eng)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lock_queue_length():
+    eng = Engine()
+    lock = Lock(eng)
+
+    def holder(eng, lock):
+        yield lock.acquire()
+        yield eng.timeout(10.0)
+        lock.release()
+
+    def waiter(eng, lock):
+        yield lock.acquire()
+        lock.release()
+
+    eng.process(holder(eng, lock))
+    for _ in range(3):
+        eng.process(waiter(eng, lock))
+    eng.run(until=5.0)
+    assert lock.queue_length == 3
+
+
+def test_semaphore_counts():
+    eng = Engine()
+    sem = Semaphore(eng, value=2)
+    starts = []
+
+    def worker(eng, sem):
+        yield sem.acquire()
+        starts.append(eng.now)
+        yield eng.timeout(1.0)
+        sem.release()
+
+    for _ in range(4):
+        eng.process(worker(eng, sem))
+    eng.run()
+    assert starts == [0.0, 0.0, 1.0, 1.0]
+
+
+def test_semaphore_invalid_value():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Semaphore(eng, value=-1)
+
+
+def test_gate_blocks_then_broadcasts():
+    eng = Engine()
+    gate = Gate(eng)
+    got = []
+
+    def waiter(eng, gate, tag):
+        value = yield gate.wait()
+        got.append((tag, value, eng.now))
+
+    def opener(eng, gate):
+        yield eng.timeout(4.0)
+        gate.open("data")
+
+    eng.process(waiter(eng, gate, "w1"))
+    eng.process(waiter(eng, gate, "w2"))
+    eng.process(opener(eng, gate))
+    eng.run()
+    assert got == [("w1", "data", 4.0), ("w2", "data", 4.0)]
+
+
+def test_gate_late_waiter_passes_immediately():
+    eng = Engine()
+    gate = Gate(eng)
+    gate.open(99)
+    got = []
+
+    def waiter(eng, gate):
+        got.append((yield gate.wait()))
+
+    eng.process(waiter(eng, gate))
+    eng.run()
+    assert got == [99]
+
+
+def test_gate_double_open_raises():
+    eng = Engine()
+    gate = Gate(eng)
+    gate.open()
+    with pytest.raises(SimulationError):
+        gate.open()

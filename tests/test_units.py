@@ -1,0 +1,63 @@
+"""Tests for units/formatting helpers and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.units import GB, KB, MB, fmt_bytes, fmt_percent, fmt_seconds
+
+
+def test_unit_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(0) == "0B"
+    assert fmt_bytes(40) == "40B"
+    assert fmt_bytes(2048) == "2.0KB"
+    assert fmt_bytes(128 * KB) == "128.0KB"
+    assert fmt_bytes(int(4.8 * GB)) == "4.80GB"
+    assert fmt_bytes(3 * MB) == "3.0MB"
+
+
+def test_fmt_bytes_negative_rejected():
+    with pytest.raises(ValueError):
+        fmt_bytes(-1)
+
+
+def test_fmt_seconds():
+    assert fmt_seconds(250e-6) == "250.0us"
+    assert fmt_seconds(0.0215) == "21.5ms"
+    assert fmt_seconds(2.5) == "2.50s"
+    assert fmt_seconds(125.0) == "2m05.0s"
+
+
+def test_fmt_seconds_negative_rejected():
+    with pytest.raises(ValueError):
+        fmt_seconds(-0.1)
+
+
+def test_fmt_percent():
+    assert fmt_percent(0.5363) == "53.63"
+    assert fmt_percent(0.5363, digits=1) == "53.6"
+
+
+def test_error_hierarchy():
+    assert issubclass(errors.SimulationError, errors.ReproError)
+    assert issubclass(errors.PFSError, errors.ReproError)
+    assert issubclass(errors.AccessModeError, errors.PFSError)
+    assert issubclass(errors.FileNotOpenError, errors.PFSError)
+    assert issubclass(errors.MachineError, errors.ReproError)
+    assert issubclass(errors.TraceError, errors.ReproError)
+    assert issubclass(errors.WorkloadError, errors.ReproError)
+    assert issubclass(errors.AnalysisError, errors.ReproError)
+    # Control-flow exceptions are deliberately NOT ReproErrors.
+    assert not issubclass(errors.StopSimulation, errors.ReproError)
+
+
+def test_public_api_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,44 @@
+"""Tests for the validation scorecard (fast mode).
+
+The fast miniature problems do not reproduce every paper-scale shape
+(that is what the paper-scale benchmark suite checks); here we verify
+the scorecard machinery itself and the claims that hold at any scale.
+"""
+
+from repro.experiments import clear_cache
+from repro.experiments.validate import Check, Scorecard, validate_all
+
+
+def test_scorecard_counting_and_rendering():
+    card = Scorecard()
+    card.add("always true", True, "detail")
+    card.add("always false", False)
+    assert card.passed == 1 and card.total == 2
+    assert not card.all_passed
+    text = card.render()
+    assert "[PASS] always true — detail" in text
+    assert "[FAIL] always false" in text
+    assert "1/2" in text
+
+
+def test_check_line_format():
+    assert Check("c", True).line() == "[PASS] c"
+    assert Check("c", False, "why").line() == "[FAIL] c — why"
+
+
+def test_validate_fast_mode_scores_scale_free_claims():
+    clear_cache()
+    card = validate_all(fast=True)
+    assert card.total >= 15
+    by_claim = {c.claim: c for c in card.checks}
+    # Claims that must hold even at miniature scale.
+    assert by_claim["ESCAT A: open+read dominate total I/O time"].passed
+    assert by_claim["ESCAT B: seek is the dominant operation"].passed
+    assert by_claim[
+        "ESCAT seek durations drop by orders of magnitude B -> C"
+    ].passed
+    assert by_claim[
+        "PRISM A: open dominates total I/O time (paper 75.4%)"
+    ].passed
+    # The miniature problems still reproduce well over half the claims.
+    assert card.passed >= card.total * 0.6

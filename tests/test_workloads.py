@@ -1,0 +1,211 @@
+"""Tests for the synthetic workload generator and benchmark suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine import MachineConfig
+from repro.pablo import IOOp
+from repro.pfs.modes import AccessMode
+from repro.units import KB
+from repro.workloads import (
+    BENCHMARK_SUITE,
+    PartitionedPattern,
+    RandomPattern,
+    SequentialPattern,
+    SharedReadPattern,
+    StridedPattern,
+    SyntheticWorkload,
+    WorkloadPhase,
+    benchmark_by_name,
+    build_suite,
+    run_workload,
+)
+
+SMALL_MACHINE = MachineConfig(
+    mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4
+)
+
+
+# ---------------------------------------------------------------- patterns
+def test_sequential_pattern_partitions():
+    p = SequentialPattern(requests_per_node=10)
+    assert p.offset(0, 0, 100, 4) == 0
+    assert p.offset(0, 1, 100, 4) == 100
+    assert p.offset(1, 0, 100, 4) == 1000
+    assert p.offset(3, 9, 100, 4) == 3900
+
+
+def test_sequential_pattern_requires_count():
+    p = SequentialPattern()
+    with pytest.raises(WorkloadError):
+        p.offset(0, 0, 100, 4)
+
+
+def test_strided_pattern_interleaves():
+    p = StridedPattern()
+    assert p.offset(0, 0, 100, 4) == 0
+    assert p.offset(1, 0, 100, 4) == 100
+    assert p.offset(0, 1, 100, 4) == 400
+    # No two (rank, index) pairs collide.
+    offsets = {
+        p.offset(r, i, 100, 4) for r in range(4) for i in range(8)
+    }
+    assert len(offsets) == 32
+
+
+def test_partitioned_pattern_with_holes():
+    p = PartitionedPattern(partition_bytes=1000)
+    assert p.offset(2, 3, 100, 4) == 2300
+    with pytest.raises(WorkloadError):
+        PartitionedPattern(partition_bytes=50).offset(0, 0, 100, 4)
+
+
+def test_shared_read_pattern_same_for_all_ranks():
+    p = SharedReadPattern()
+    assert p.offset(0, 5, 100, 4) == p.offset(3, 5, 100, 4) == 500
+    assert p.total_bytes(10, 100, 4) == 1000  # not multiplied by nodes
+
+
+def test_random_pattern_stable_and_bounded():
+    p = RandomPattern(file_blocks=16, seed=3)
+    first = p.offset(1, 2, 100, 4)
+    assert first == p.offset(1, 2, 100, 4)  # index-stable
+    for r in range(4):
+        for i in range(20):
+            off = p.offset(r, i, 100, 4)
+            assert off % 100 == 0 and off < 1600
+
+
+def test_pattern_invalid_args():
+    p = StridedPattern()
+    with pytest.raises(WorkloadError):
+        p.offset(0, 0, 0, 4)
+    with pytest.raises(WorkloadError):
+        p.offset(0, 0, 100, 0)
+
+
+# ---------------------------------------------------------------- generator
+def test_run_workload_basic_write():
+    wl = SyntheticWorkload(
+        name="t", n_nodes=4,
+        phases=(
+            WorkloadPhase(
+                name="w", kind="write", path="/pfs/t",
+                pattern=StridedPattern(), request_size=4 * KB,
+                requests_per_node=5, mode=AccessMode.M_ASYNC,
+                use_gopen=True,
+            ),
+        ),
+    )
+    result = run_workload(wl, machine_config=SMALL_MACHINE)
+    writes = result.trace.by_op(IOOp.WRITE)
+    assert len(writes) == 20
+    assert result.trace.meta.application == "synthetic"
+
+
+def test_run_workload_read_phase_prepopulated():
+    wl = SyntheticWorkload(
+        name="t", n_nodes=4,
+        phases=(
+            WorkloadPhase(
+                name="r", kind="read", path="/pfs/t",
+                pattern=SequentialPattern(), request_size=1 * KB,
+                requests_per_node=8,
+            ),
+        ),
+    )
+    result = run_workload(wl, machine_config=SMALL_MACHINE)
+    reads = result.trace.by_op(IOOp.READ)
+    assert len(reads) == 32
+    assert all(e.nbytes == 1 * KB for e in reads.events)
+
+
+def test_run_workload_participants_subset():
+    wl = SyntheticWorkload(
+        name="t", n_nodes=4,
+        phases=(
+            WorkloadPhase(
+                name="w", kind="write", path="/pfs/t",
+                pattern=StridedPattern(), request_size=1 * KB,
+                requests_per_node=3, participants=(0, 2),
+                mode=AccessMode.M_ASYNC, use_gopen=True,
+            ),
+        ),
+    )
+    result = run_workload(wl, machine_config=SMALL_MACHINE)
+    writers = {e.node for e in result.trace.by_op(IOOp.WRITE).events}
+    assert writers == {0, 2}
+
+
+def test_run_workload_mglobal_collective():
+    wl = SyntheticWorkload(
+        name="t", n_nodes=4,
+        phases=(
+            WorkloadPhase(
+                name="r", kind="read", path="/pfs/t",
+                pattern=SharedReadPattern(), request_size=1 * KB,
+                requests_per_node=4, mode=AccessMode.M_GLOBAL,
+                use_gopen=True,
+            ),
+        ),
+    )
+    result = run_workload(wl, machine_config=SMALL_MACHINE)
+    reads = result.trace.by_op(IOOp.READ)
+    assert len(reads) == 16  # traced per node
+    assert {e.mode for e in reads.events} == {"M_GLOBAL"}
+
+
+def test_workload_validation():
+    with pytest.raises(WorkloadError):
+        SyntheticWorkload(name="t", n_nodes=0, phases=()).validate()
+    with pytest.raises(WorkloadError):
+        SyntheticWorkload(name="t", n_nodes=2, phases=()).validate()
+    bad_phase = WorkloadPhase(
+        name="w", kind="scribble", path="/x",
+        pattern=StridedPattern(), request_size=10, requests_per_node=1,
+    )
+    with pytest.raises(WorkloadError):
+        SyntheticWorkload(name="t", n_nodes=2, phases=(bad_phase,)).validate()
+
+
+# ---------------------------------------------------------------- suite
+def test_suite_has_documented_entries():
+    expected = {
+        "compulsory-shared-read", "compulsory-global-read",
+        "staging-small-strided-write", "staging-small-async-write",
+        "reload-record-read", "unbuffered-small-read",
+        "partitioned-large-write", "segmented-sequential-read",
+        "random-small-read", "checkpoint-bursts",
+        "sync-variable-write", "log-append",
+    }
+    assert set(BENCHMARK_SUITE) == expected
+
+
+def test_suite_rebuild_for_other_node_count():
+    wl = benchmark_by_name("reload-record-read", n_nodes=4)
+    assert wl.n_nodes == 4
+    result = run_workload(wl, machine_config=SMALL_MACHINE)
+    assert len(result.trace.by_op(IOOp.READ)) == 4 * 16
+
+
+def test_suite_unknown_name():
+    with pytest.raises(WorkloadError):
+        benchmark_by_name("nope")
+
+
+def test_suite_invalid_node_count():
+    with pytest.raises(WorkloadError):
+        build_suite(n_nodes=1)
+
+
+def test_global_vs_unix_shared_read_ordering():
+    """The headline suite result: aggregation beats serialization."""
+    unix = run_workload(
+        benchmark_by_name("compulsory-shared-read", n_nodes=8),
+        machine_config=SMALL_MACHINE,
+    )
+    glob = run_workload(
+        benchmark_by_name("compulsory-global-read", n_nodes=8),
+        machine_config=SMALL_MACHINE,
+    )
+    assert glob.io_node_seconds < unix.io_node_seconds
