@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Run the fast-core performance suite and emit ``BENCH_core.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_core.py [--quick] \
+        [--output BENCH_core.json]
+
+``--quick`` shrinks the microbench sizes and skips the live
+legacy-kernel end-to-end reference so the whole suite finishes in
+under a minute; the emitted JSON has the same shape either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller repeats; skip the live legacy end-to-end run",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_core.json",
+        help="where to write the JSON report (default: ./BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    import os
+
+    out_dir = os.path.dirname(args.output) or "."
+    if not os.path.isdir(out_dir):
+        # Fail before spending half a minute benchmarking.
+        print(f"error: output directory does not exist: {out_dir}",
+              file=sys.stderr)
+        return 1
+
+    from repro.experiments import perfbench
+
+    payload = perfbench.run_suite(quick=args.quick)
+    perfbench.write_report(payload, args.output)
+    print(perfbench.render(payload))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

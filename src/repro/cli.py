@@ -16,6 +16,12 @@ Subcommands
     Run an application version and dump its Pablo trace as SDDF.
 ``repro counters <app> <version> [--top N] [--fast]``
     Darshan-style per-file counter report for an application run.
+``repro bench [--quick] [--output PATH]``
+    Run the fast-core performance suite (emits BENCH_core.json).
+
+``all`` and ``validate`` accept ``--jobs N`` (prewarm the run cache
+with N worker processes) and ``--no-cache`` (force fresh simulations,
+ignoring the on-disk run cache).
 """
 
 from __future__ import annotations
@@ -42,9 +48,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Honour ``--no-cache`` / ``--jobs`` before any simulation runs."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_CACHE"] = "0"
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        from repro.experiments.parallel import prewarm
+
+        prewarm(jobs, fast=args.fast)
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     from repro.experiments import list_experiments, run_experiment
 
+    _apply_cache_flags(args)
     for exp_id in list_experiments():
         print(run_experiment(exp_id, fast=args.fast))
         print()
@@ -54,9 +74,26 @@ def _cmd_all(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validate import validate_all
 
+    _apply_cache_flags(args)
     card = validate_all(fast=args.fast)
     print(card.render())
     return 0 if card.all_passed else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments import perfbench
+
+    out_dir = os.path.dirname(args.output) or "."
+    if not os.path.isdir(out_dir):
+        # Fail before spending half a minute benchmarking.
+        raise ReproError(f"output directory does not exist: {out_dir}")
+    payload = perfbench.run_suite(quick=args.quick)
+    perfbench.write_report(payload, args.output)
+    print(perfbench.render(payload))
+    print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -142,12 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("all", help="regenerate every table and figure")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="prewarm the run cache with N worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the on-disk run cache (fresh simulations)")
     p.set_defaults(fn=_cmd_all)
 
     p = sub.add_parser(
         "validate", help="score the paper's claims against fresh runs"
     )
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="prewarm the run cache with N worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the on-disk run cache (fresh simulations)")
     p.set_defaults(fn=_cmd_validate)
 
     p = sub.add_parser("suite", help="run the synthetic benchmark suite")
@@ -177,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output")
     p.add_argument("--fast", action="store_true")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "bench", help="run the fast-core performance suite"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller repeats; finishes in under a minute")
+    p.add_argument("--output", default="BENCH_core.json")
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -89,7 +89,7 @@ def request_size_cdf(trace: Trace, op: IOOp) -> SizeCDF:
     """
     if op not in (IOOp.READ, IOOp.WRITE):
         raise AnalysisError(f"size CDFs are defined for reads/writes, not {op}")
-    sizes = [e.nbytes for e in trace.events if e.op == op]
-    if not sizes:
+    sizes = trace.column("nbytes")[trace.op_mask(op)]
+    if sizes.size == 0:
         raise AnalysisError(f"trace has no {op} events")
     return cdf_from_sizes(sizes)

@@ -74,7 +74,7 @@ def operation_timeline(
     """
     if attribute not in ("nbytes", "duration"):
         raise AnalysisError(f"unknown attribute {attribute!r}")
-    events = [e for e in trace.events if e.op == op]
-    times = np.array([e.start for e in events], dtype=float)
-    values = np.array([getattr(e, attribute) for e in events], dtype=float)
+    mask = trace.op_mask(op)
+    times = trace.column("start")[mask]
+    values = trace.column(attribute)[mask].astype(float, copy=False)
     return TimeSeries(op=op, attribute=attribute, times=times, values=values)

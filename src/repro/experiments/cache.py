@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache for simulated application runs.
+
+Every experiment, table, and figure derives from a handful of
+deterministic simulations; re-running ``repro validate`` or the bench
+suite repeats them from scratch.  This module persists each completed
+:class:`~repro.apps.base.AppRunResult` as an SDDF trace plus a JSON
+sidecar under ``~/.cache/repro/`` keyed by a SHA-256 fingerprint of
+everything the run depends on: application kind, version (and the full
+version-object fields for progression builds), problem dataset,
+machine and cost-model calibration, seed, scale, and a cache epoch.
+
+Determinism makes this sound: a cache hit yields the *byte-identical*
+SDDF trace a fresh run would produce (the SDDF float fields are
+``repr``-round-tripped), so cached and fresh experiment outputs match
+exactly — asserted by the regression tests.
+
+Layout::
+
+    ~/.cache/repro/<key[:2]>/<key>.sddf   # the trace
+    ~/.cache/repro/<key[:2]>/<key>.json   # run metadata (commit marker)
+
+Writes are atomic (temp file + ``os.replace``) and the JSON sidecar is
+written last, so a torn write can never produce a loadable entry.
+Environment knobs: ``REPRO_CACHE=0`` disables the cache entirely;
+``REPRO_CACHE_DIR`` relocates it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.apps.base import AppRunResult
+from repro.errors import ReproError
+from repro.pablo.sddf import read_sddf, write_sddf
+
+#: Bump this whenever simulator behaviour changes in a way the key
+#: fields cannot see (e.g. a PFS scheduling fix): it invalidates every
+#: previously cached run at once.
+CACHE_EPOCH = 1
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _fingerprint(value: object) -> object:
+    """A JSON-able, deterministic digest structure for key material."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: _fingerprint(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): _fingerprint(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def run_key(**parts: object) -> str:
+    """The content hash for a run described by ``parts``.
+
+    The default machine and PFS cost calibration are always folded in,
+    so recalibrating the simulator invalidates old entries without a
+    manual epoch bump.
+    """
+    from repro.machine import MachineConfig
+    from repro.pfs.costs import PFSCostModel
+
+    payload = {
+        "epoch": CACHE_EPOCH,
+        "machine": _fingerprint(MachineConfig.caltech()),
+        "costs": _fingerprint(PFSCostModel()),
+    }
+    for name, value in parts.items():
+        payload[name] = _fingerprint(value)
+    digest = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(digest.encode("utf-8")).hexdigest()
+
+
+def _paths(key: str) -> tuple:
+    base = cache_dir() / key[:2]
+    return base / f"{key}.sddf", base / f"{key}.json"
+
+
+def load(key: str) -> Optional[AppRunResult]:
+    """The cached run for ``key``, or ``None`` on any miss/corruption."""
+    if not cache_enabled():
+        return None
+    trace_path, meta_path = _paths(key)
+    try:
+        meta = json.loads(meta_path.read_text())
+        trace = read_sddf(trace_path)
+        return AppRunResult(
+            application=meta["application"],
+            version=meta["version"],
+            dataset=meta["dataset"],
+            n_nodes=meta["n_nodes"],
+            trace=trace,
+            wall_time=meta["wall_time"],
+        )
+    except (OSError, ValueError, KeyError, TypeError, ReproError):
+        return None
+
+
+def store(key: str, result: AppRunResult) -> None:
+    """Persist ``result`` under ``key``.  Best-effort: I/O failures
+    (read-only home, full disk) degrade to a cache miss next time."""
+    if not cache_enabled():
+        return
+    trace_path, meta_path = _paths(key)
+    meta = {
+        "application": result.application,
+        "version": result.version,
+        "dataset": result.dataset,
+        "n_nodes": result.n_nodes,
+        "wall_time": result.wall_time,
+        "events": len(result.trace),
+    }
+    try:
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(trace_path, lambda f: write_sddf(result.trace, f))
+        _atomic_write(meta_path, lambda f: json.dump(meta, f))
+    except OSError:
+        return
+
+
+def _atomic_write(path: Path, writer) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as stream:
+            writer(stream)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def fetch_or_run(key: str, producer) -> AppRunResult:
+    """Load ``key`` from disk, or call ``producer()`` and persist it."""
+    result = load(key)
+    if result is None:
+        result = producer()
+        store(key, result)
+    return result
+
+
+def clear() -> int:
+    """Delete every cached entry; returns the number of files removed."""
+    root = cache_dir()
+    removed = 0
+    if not root.exists():
+        return 0
+    for path in root.rglob("*"):
+        if path.is_file() and path.suffix in (".sddf", ".json", ".tmp"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,92 @@
+"""Parallel experiment fan-out: prewarm the run cache with workers.
+
+The experiment harness derives everything from a fixed set of
+independent simulations (three ESCAT versions, three PRISM versions,
+the carbon-monoxide run, and the six Figure-1 progression builds).
+``prewarm`` runs those simulations across ``--jobs N`` worker
+*processes*; each worker persists its result in the on-disk cache
+(:mod:`repro.experiments.cache`), and the parent then loads the traces
+back instead of re-simulating.  Results are bit-identical either way —
+the workers only change *where* the deterministic simulation executes.
+
+When the disk cache is disabled (``REPRO_CACHE=0``) workers would have
+no channel to hand results back, so the fan-out degrades to in-process
+serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterable, List, Optional, Tuple
+
+from repro.experiments import cache
+
+#: (kind, version) for every independent simulated execution.
+PREWARM_BASE: List[Tuple[str, str]] = [
+    ("escat", "A"),
+    ("escat", "B"),
+    ("escat", "C"),
+    ("prism", "A"),
+    ("prism", "B"),
+    ("prism", "C"),
+    ("escat-co", "C"),
+]
+
+
+def prewarm_specs(include_progressions: bool = True) -> List[Tuple[str, str]]:
+    specs = list(PREWARM_BASE)
+    if include_progressions:
+        from repro.apps.escat.versions import ESCAT_PROGRESSIONS
+
+        specs.extend(
+            ("escat-prog", version.name) for version in ESCAT_PROGRESSIONS
+        )
+    return specs
+
+
+def _run_spec(spec: Tuple[str, str, bool, int]) -> Tuple[str, str]:
+    """Worker body: simulate one target, persisting it via the cache."""
+    kind, version, fast, seed = spec
+    from repro.experiments import runner
+
+    if kind == "escat":
+        runner.escat_result(version, fast=fast, seed=seed)
+    elif kind == "prism":
+        runner.prism_result(version, fast=fast, seed=seed)
+    elif kind == "escat-co":
+        runner.carbon_monoxide_result(fast=fast, seed=seed)
+    elif kind == "escat-prog":
+        runner.escat_progression_result(version, fast=fast, seed=seed)
+    else:  # pragma: no cover - specs are internal
+        raise ValueError(f"unknown prewarm kind {kind!r}")
+    return (kind, version)
+
+
+def prewarm(
+    jobs: int,
+    fast: bool = False,
+    seed: Optional[int] = None,
+    include_progressions: bool = True,
+    specs: Optional[Iterable[Tuple[str, str]]] = None,
+) -> int:
+    """Simulate every independent experiment input, ``jobs`` at a time.
+
+    Returns the number of targets processed.  Safe to call when some
+    or all targets are already cached — those workers return almost
+    immediately from a disk hit.
+    """
+    from repro.experiments.runner import DEFAULT_SEED
+
+    if seed is None:
+        seed = DEFAULT_SEED
+    chosen = list(specs) if specs is not None else prewarm_specs(
+        include_progressions
+    )
+    work = [(kind, version, fast, seed) for kind, version in chosen]
+    if jobs <= 1 or len(work) <= 1 or not cache.cache_enabled():
+        for spec in work:
+            _run_spec(spec)
+        return len(work)
+    with multiprocessing.Pool(processes=min(jobs, len(work))) as pool:
+        pool.map(_run_spec, work)
+    return len(work)

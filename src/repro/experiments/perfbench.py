@@ -1,0 +1,299 @@
+"""Performance benchmarks for the fast simulation core.
+
+Three layers are measured, mirroring the fast-path work:
+
+``engine``
+    Raw DES kernel throughput (events/sec).  The workload is an event
+    *churn*: one driver process arms a fan of fire-and-forget timeouts
+    per step, so the measurement isolates event allocation, scheduling,
+    and dispatch (the kernel layer) rather than generator resumption.
+    The fast calendar-queue/pooled kernel is compared against the
+    in-tree legacy heap kernel (``Engine(fast=False)``, the seed
+    implementation) with interleaved repeats; the median ratio is the
+    headline speedup.
+
+``engine_process_driven``
+    The same comparison on a generator-heavy shape (many processes
+    each yielding timeouts) — closer to application code, with the
+    kernel gain diluted by generator resume costs.
+
+``tracer``
+    Columnar trace capture: ``Tracer.record_fields`` calls/sec and the
+    cost of ``finish()`` (column build + sort) per record.
+
+``end_to_end``
+    A fresh paper-scale ESCAT-A simulation (the most expensive single
+    run behind the tables), plus the cached-reload path, compared
+    against the pre-PR baseline recorded in :data:`PRE_PR_BASELINE`.
+
+All measurements use wall-clock ``time.perf_counter``.  Nothing here
+affects simulation results; determinism is asserted separately by
+``tests/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List
+
+from repro.sim.engine import Engine
+
+#: End-to-end baseline measured at the seed commit (heap kernel,
+#: per-object tracer, no cache) on the reference container: a fresh
+#: paper-scale ESCAT-A run.  The ``end_to_end`` section reports the
+#: current fresh run against this.
+PRE_PR_BASELINE = {
+    "description": (
+        "fresh paper-scale ESCAT-A at the seed commit "
+        "(heap kernel, per-object tracer, no run cache)"
+    ),
+    "escat_A_wall_s": 54.8,
+    "escat_A_records": 367786,
+}
+
+#: Acceptance thresholds the suite reports against.
+CRITERIA = {"engine_speedup_min": 3.0, "end_to_end_speedup_min": 2.0}
+
+
+def _churn(env: Engine, n_events: int, fan: int) -> int:
+    """Arm ``fan`` fire-and-forget timeouts per driver step."""
+
+    def driver(env: Engine):
+        timeout = env.timeout
+        emitted = 0
+        while emitted < n_events:
+            for _ in range(fan):
+                timeout(1.0)
+            emitted += fan + 1
+            yield timeout(1.0)
+
+    env.process(driver(env))
+    env.run()
+    return n_events
+
+
+def _process_driven(env: Engine, n_procs: int, n_steps: int) -> int:
+    """Classic shape: ``n_procs`` concurrent processes yielding."""
+
+    def proc(env: Engine):
+        for _ in range(n_steps):
+            yield env.timeout(1.0)
+
+    for _ in range(n_procs):
+        env.process(proc(env))
+    env.run()
+    # +2: each process costs an Initialize and a completion event.
+    return n_procs * (n_steps + 2)
+
+
+def _rate(workload: Callable[[Engine], int], fast: bool) -> float:
+    env = Engine(fast=fast)
+    start = time.perf_counter()
+    events = workload(env)
+    return events / (time.perf_counter() - start)
+
+
+def _compare(workload: Callable[[Engine], int], repeats: int) -> Dict:
+    """Interleaved legacy/fast measurement; medians + ratio."""
+    legacy: List[float] = []
+    fast: List[float] = []
+    for _ in range(repeats):
+        legacy.append(_rate(workload, fast=False))
+        fast.append(_rate(workload, fast=True))
+    legacy_med = statistics.median(legacy)
+    fast_med = statistics.median(fast)
+    return {
+        "legacy_events_per_s": round(legacy_med),
+        "fast_events_per_s": round(fast_med),
+        "speedup": round(fast_med / legacy_med, 2),
+        "repeats": repeats,
+    }
+
+
+def bench_engine(quick: bool = False) -> Dict:
+    n = 100_000 if quick else 200_000
+    out = _compare(lambda env: _churn(env, n, fan=255), repeats=5)
+    out["workload"] = f"event churn: {n} timeouts, fan 255"
+    return out
+
+
+def bench_engine_process_driven(quick: bool = False) -> Dict:
+    n_procs, n_steps = (100, 1000) if quick else (100, 2000)
+    out = _compare(
+        lambda env: _process_driven(env, n_procs, n_steps), repeats=3
+    )
+    out["workload"] = f"{n_procs} processes x {n_steps} timeout yields"
+    return out
+
+
+def bench_tracer(quick: bool = False) -> Dict:
+    from repro.pablo.tracer import OP_LIST, Tracer
+
+    n = 100_000 if quick else 300_000
+    ops = [OP_LIST[i % len(OP_LIST)] for i in range(64)]
+    paths = [f"/pfs/stage{i}.dat" for i in range(8)]
+    best_record = 0.0
+    best_finish = 0.0
+    for _ in range(3):
+        tracer = Tracer()
+        record = tracer.record_fields
+        start = time.perf_counter()
+        for i in range(n):
+            record(
+                i & 15, ops[i & 63], paths[i & 7],
+                i * 1e-6, 1e-6, 4096, i * 4096, "", "compute",
+            )
+        record_dt = time.perf_counter() - start
+        start = time.perf_counter()
+        trace = tracer.finish()
+        finish_dt = time.perf_counter() - start
+        assert len(trace) == n
+        best_record = max(best_record, n / record_dt)
+        best_finish = max(best_finish, n / finish_dt)
+    return {
+        "records_per_s": round(best_record),
+        "finish_records_per_s": round(best_finish),
+        "n_records": n,
+    }
+
+
+def bench_end_to_end(quick: bool = False) -> Dict:
+    from repro.apps import ETHYLENE, run_escat
+    from repro.experiments import cache
+
+    seed = 1996
+    start = time.perf_counter()
+    result = run_escat("A", ETHYLENE, seed=seed)
+    fresh_s = time.perf_counter() - start
+
+    # Cached-reload path, against a throwaway cache directory.
+    old_dir = os.environ.get("REPRO_CACHE_DIR")
+    old_enabled = os.environ.get("REPRO_CACHE")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ.pop("REPRO_CACHE", None)
+        try:
+            key = cache.run_key(
+                kind="escat", version="A", problem=ETHYLENE, seed=seed
+            )
+            cache.store(key, result)
+            start = time.perf_counter()
+            reloaded = cache.load(key)
+            cached_s = time.perf_counter() - start
+            assert reloaded is not None
+            assert len(reloaded.trace) == len(result.trace)
+        finally:
+            if old_dir is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = old_dir
+            if old_enabled is not None:
+                os.environ["REPRO_CACHE"] = old_enabled
+
+    out = {
+        "fresh_wall_s": round(fresh_s, 2),
+        "cached_wall_s": round(cached_s, 2),
+        "records": len(result.trace),
+        "speedup_vs_pre_pr": round(
+            PRE_PR_BASELINE["escat_A_wall_s"] / fresh_s, 2
+        ),
+        "cached_speedup_vs_pre_pr": round(
+            PRE_PR_BASELINE["escat_A_wall_s"] / cached_s, 2
+        ),
+    }
+    if not quick:
+        # Live in-tree reference: the same run on the legacy heap
+        # kernel (columnar tracer still active in both).
+        os.environ["REPRO_FAST_CORE"] = "0"
+        try:
+            start = time.perf_counter()
+            legacy_result = run_escat("A", ETHYLENE, seed=seed)
+            out["legacy_core_wall_s"] = round(time.perf_counter() - start, 2)
+            assert len(legacy_result.trace) == len(result.trace)
+        finally:
+            os.environ.pop("REPRO_FAST_CORE", None)
+    return out
+
+
+def run_suite(quick: bool = False) -> Dict:
+    """Run every benchmark; returns the BENCH_core.json payload."""
+    suite_start = time.perf_counter()
+    engine = bench_engine(quick)
+    engine_pd = bench_engine_process_driven(quick)
+    tracer = bench_tracer(quick)
+    end_to_end = bench_end_to_end(quick)
+    payload = {
+        "benchmark": "repro fast simulation core",
+        "quick": quick,
+        "engine": engine,
+        "engine_process_driven": engine_pd,
+        "tracer": tracer,
+        "end_to_end": end_to_end,
+        "baseline_pre_pr": PRE_PR_BASELINE,
+        "criteria": {
+            **CRITERIA,
+            "engine_ok": engine["speedup"] >= CRITERIA["engine_speedup_min"],
+            "end_to_end_ok": (
+                end_to_end["speedup_vs_pre_pr"]
+                >= CRITERIA["end_to_end_speedup_min"]
+            ),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "fast_core_default": os.environ.get("REPRO_FAST_CORE", "1") != "0",
+        },
+        "suite_wall_s": 0.0,
+    }
+    payload["suite_wall_s"] = round(time.perf_counter() - suite_start, 2)
+    return payload
+
+
+def render(payload: Dict) -> str:
+    """Human-readable one-screen summary of a suite payload."""
+    eng = payload["engine"]
+    pd = payload["engine_process_driven"]
+    tr = payload["tracer"]
+    e2e = payload["end_to_end"]
+    crit = payload["criteria"]
+    lines = [
+        "fast simulation core benchmarks"
+        + (" (quick)" if payload["quick"] else ""),
+        f"  engine churn      legacy {eng['legacy_events_per_s']:>10,}/s"
+        f"  fast {eng['fast_events_per_s']:>10,}/s"
+        f"  speedup {eng['speedup']:.2f}x"
+        f"  [>= {crit['engine_speedup_min']:.1f}x: "
+        f"{'ok' if crit['engine_ok'] else 'MISS'}]",
+        f"  engine processes  legacy {pd['legacy_events_per_s']:>10,}/s"
+        f"  fast {pd['fast_events_per_s']:>10,}/s"
+        f"  speedup {pd['speedup']:.2f}x",
+        f"  tracer capture    {tr['records_per_s']:>10,} records/s"
+        f"  (finish {tr['finish_records_per_s']:,}/s)",
+        f"  escat-A fresh     {e2e['fresh_wall_s']:.2f}s"
+        f"  ({e2e['records']:,} records)"
+        f"  vs pre-PR {payload['baseline_pre_pr']['escat_A_wall_s']}s"
+        f"  speedup {e2e['speedup_vs_pre_pr']:.2f}x"
+        f"  [>= {crit['end_to_end_speedup_min']:.1f}x: "
+        f"{'ok' if crit['end_to_end_ok'] else 'MISS'}]",
+        f"  escat-A cached    {e2e['cached_wall_s']:.2f}s"
+        f"  speedup {e2e['cached_speedup_vs_pre_pr']:.2f}x",
+    ]
+    if "legacy_core_wall_s" in e2e:
+        lines.append(
+            f"  escat-A legacy-core {e2e['legacy_core_wall_s']:.2f}s"
+            " (heap kernel, in-tree)"
+        )
+    lines.append(f"  suite wall        {payload['suite_wall_s']:.1f}s")
+    return "\n".join(lines)
+
+
+def write_report(payload: Dict, path: str) -> None:
+    with open(path, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=False)
+        stream.write("\n")

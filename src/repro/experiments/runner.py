@@ -5,6 +5,12 @@ executions; this module runs each (application, version, dataset)
 combination once per process and memoizes the result, so regenerating
 all tables and figures costs six ESCAT runs, three PRISM runs and one
 carbon-monoxide run in total.
+
+A second cache layer persists completed runs on disk (see
+:mod:`repro.experiments.cache`): because the simulations are
+deterministic, a process can reload a previous run's trace byte for
+byte instead of re-simulating.  Set ``REPRO_CACHE=0`` to force fresh
+simulations.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.apps import (
 )
 from repro.apps.base import AppRunResult
 from repro.apps.escat.versions import ESCAT_PROGRESSIONS, VERSION_C
+from repro.experiments import cache
 
 _CACHE: Dict[Tuple, AppRunResult] = {}
 
@@ -31,7 +38,11 @@ DEFAULT_SEED = 1996
 
 
 def clear_cache() -> None:
-    """Drop all memoized runs (tests use this)."""
+    """Drop all memoized runs (tests use this).
+
+    Only the in-process memo is dropped; the on-disk cache is governed
+    by ``REPRO_CACHE`` / :func:`repro.experiments.cache.clear`.
+    """
     _CACHE.clear()
 
 
@@ -48,7 +59,11 @@ def escat_result(
     if key not in _CACHE:
         problem = scaled_escat_problem(n_nodes=16, records_per_channel=32) \
             if fast else ETHYLENE
-        _CACHE[key] = run_escat(version, problem, seed=seed)
+        _CACHE[key] = cache.fetch_or_run(
+            cache.run_key(kind="escat", version=version, problem=problem,
+                          seed=seed),
+            lambda: run_escat(version, problem, seed=seed),
+        )
     return _CACHE[key]
 
 
@@ -58,15 +73,36 @@ def escat_progression_results(
     """The six instrumented executions of Figure 1, in order."""
     out: Dict[str, AppRunResult] = {}
     for version in ESCAT_PROGRESSIONS:
-        key = ("escat-prog", version.name, fast, seed)
-        if key not in _CACHE:
-            problem = scaled_escat_problem(n_nodes=16, records_per_channel=32) \
-                if fast else ETHYLENE
-            _CACHE[key] = run_escat(
-                version.name, problem, seed=seed, version_obj=version
-            )
-        out[version.name] = _CACHE[key]
+        out[version.name] = escat_progression_result(
+            version.name, fast=fast, seed=seed
+        )
     return out
+
+
+def escat_progression_result(
+    name: str, fast: bool = False, seed: int = DEFAULT_SEED
+) -> AppRunResult:
+    """One instrumented execution of the Figure-1 progression."""
+    version = next((v for v in ESCAT_PROGRESSIONS if v.name == name), None)
+    if version is None:
+        from repro.errors import WorkloadError
+
+        raise WorkloadError(
+            f"unknown progression build {name!r}; have "
+            f"{[v.name for v in ESCAT_PROGRESSIONS]}"
+        )
+    key = ("escat-prog", version.name, fast, seed)
+    if key not in _CACHE:
+        problem = scaled_escat_problem(n_nodes=16, records_per_channel=32) \
+            if fast else ETHYLENE
+        _CACHE[key] = cache.fetch_or_run(
+            cache.run_key(kind="escat-prog", version=version,
+                          problem=problem, seed=seed),
+            lambda: run_escat(
+                version.name, problem, seed=seed, version_obj=version
+            ),
+        )
+    return _CACHE[key]
 
 
 def carbon_monoxide_result(
@@ -87,9 +123,11 @@ def carbon_monoxide_result(
             )
             if fast else CARBON_MONOXIDE
         )
-        _CACHE[key] = run_escat(
-            "C", problem, seed=seed,
-            version_obj=replace(VERSION_C, mode_via_gopen=True),
+        version = replace(VERSION_C, mode_via_gopen=True)
+        _CACHE[key] = cache.fetch_or_run(
+            cache.run_key(kind="escat-co", version=version, problem=problem,
+                          seed=seed),
+            lambda: run_escat("C", problem, seed=seed, version_obj=version),
         )
     return _CACHE[key]
 
@@ -101,5 +139,9 @@ def prism_result(
     key = ("prism", version, fast, seed)
     if key not in _CACHE:
         problem = scaled_prism_problem() if fast else PRISM_TEST
-        _CACHE[key] = run_prism(version, problem, seed=seed)
+        _CACHE[key] = cache.fetch_or_run(
+            cache.run_key(kind="prism", version=version, problem=problem,
+                          seed=seed),
+            lambda: run_prism(version, problem, seed=seed),
+        )
     return _CACHE[key]

@@ -37,6 +37,13 @@ class Network:
         self.bytes_moved = 0
         #: Total messages sent.
         self.messages = 0
+        #: (src, dst) -> latency + hops * per_hop.  The mesh and config
+        #: are immutable, so the per-pair base cost never changes.
+        self._base_cost: dict = {}
+        #: (root, nodes tuple) -> mean hop count for collectives.
+        self._mean_hops: dict = {}
+        #: (root, nodes tuple) -> summed per-sender gather overhead.
+        self._gather_overhead: dict = {}
 
     # -- point to point --------------------------------------------------
     def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
@@ -46,11 +53,11 @@ class Network:
         if src == dst:
             return 0.0
         cfg = self.config
-        return (
-            cfg.latency
-            + self.mesh.hops(src, dst) * cfg.per_hop
-            + nbytes / cfg.bandwidth
-        )
+        base = self._base_cost.get((src, dst))
+        if base is None:
+            base = cfg.latency + self.mesh.hops(src, dst) * cfg.per_hop
+            self._base_cost[(src, dst)] = base
+        return base + nbytes / cfg.bandwidth
 
     def send(self, src: int, dst: int, nbytes: int) -> Generator:
         """Process step: transmit a message and wait for completion."""
@@ -94,9 +101,14 @@ class Network:
             return 0.0
         cfg = self.config
         payload = len(senders) * nbytes_per_node / cfg.bandwidth
-        overhead = sum(
-            cfg.latency + self.mesh.hops(s, root) * cfg.per_hop for s in senders
-        )
+        key = (root, tuple(nodes))
+        overhead = self._gather_overhead.get(key)
+        if overhead is None:
+            overhead = sum(
+                cfg.latency + self.mesh.hops(s, root) * cfg.per_hop
+                for s in senders
+            )
+            self._gather_overhead[key] = overhead
         return payload + overhead
 
     def gather(
@@ -118,8 +130,12 @@ class Network:
 
     # -- helpers -----------------------------------------------------------
     def _avg_transfer(self, root: int, nodes: Sequence[int], nbytes: int) -> float:
-        hops = [self.mesh.hops(root, n) for n in nodes if n != root]
-        mean_hops = sum(hops) / len(hops) if hops else 0.0
+        key = (root, tuple(nodes))
+        mean_hops = self._mean_hops.get(key)
+        if mean_hops is None:
+            hops = [self.mesh.hops(root, n) for n in nodes if n != root]
+            mean_hops = sum(hops) / len(hops) if hops else 0.0
+            self._mean_hops[key] = mean_hops
         cfg = self.config
         return cfg.latency + mean_hops * cfg.per_hop + nbytes / cfg.bandwidth
 

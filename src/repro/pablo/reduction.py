@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List
 
+import numpy as np
+
 from repro.errors import TraceError
 from repro.pablo.records import IOEvent
 from repro.pablo.tracer import Trace
@@ -38,6 +40,13 @@ def group_by(
     return {k: Trace(v, trace.meta) for k, v in buckets.items()}
 
 
+#: Column order of :meth:`Trace.from_columns`.
+_COLUMNS = (
+    "node", "opcode", "path", "start", "duration", "nbytes", "offset",
+    "mode", "phase",
+)
+
+
 def merge_traces(traces: Iterable[Trace]) -> Trace:
     """Merge several traces into one time-ordered trace.
 
@@ -49,21 +58,20 @@ def merge_traces(traces: Iterable[Trace]) -> Trace:
     traces = list(traces)
     if not traces:
         raise TraceError("cannot merge zero traces")
-    events: List[IOEvent] = []
-    for t in traces:
-        events.extend(t.events)
-    return Trace(events, traces[0].meta)
+    merged = [
+        np.concatenate([t.column(name) for t in traces])
+        for name in _COLUMNS
+    ]
+    return Trace.from_columns(
+        *merged, meta=traces[0].meta, sort=True, validate=False
+    )
 
 
 def remap_nodes(trace: Trace, offset: int) -> Trace:
     """Shift every event's node id by ``offset`` (pre-merge helper)."""
-    out = []
-    for e in trace.events:
-        out.append(
-            IOEvent(
-                node=e.node + offset, op=e.op, path=e.path, start=e.start,
-                duration=e.duration, nbytes=e.nbytes, offset=e.offset,
-                mode=e.mode, phase=e.phase,
-            )
-        )
-    return Trace(out, trace.meta)
+    columns = [trace.column(name) for name in _COLUMNS]
+    columns[0] = columns[0] + offset
+    # A uniform shift cannot change the (start, node) order.
+    return Trace.from_columns(
+        *columns, meta=trace.meta, sort=False, validate=True
+    )

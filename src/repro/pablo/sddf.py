@@ -67,13 +67,17 @@ def write_sddf(trace: Trace, destination: Union[str, os.PathLike, TextIO]) -> No
         descriptor = " ".join(f"{name}:{tag}" for name, tag in _FIELDS)
         stream.write(f"#record IOEvent {descriptor}\n")
         stream.write("#data\n")
-        for e in trace.events:
-            row = [
-                str(e.node), e.op.value, _escape(e.path),
-                repr(e.start), repr(e.duration), str(e.nbytes),
-                str(e.offset), _escape(e.mode), _escape(e.phase),
-            ]
-            stream.write("\t".join(row) + "\n")
+        # Columnar export: no record objects are materialized.  The
+        # values are Python scalars, so repr() of the floats matches
+        # the historical per-event output byte for byte.
+        write = stream.write
+        for node, op_value, path, start, duration, nbytes, offset, mode, \
+                phase in trace.export_rows():
+            write(
+                f"{node}\t{op_value}\t{_escape(path)}\t{start!r}\t"
+                f"{duration!r}\t{nbytes}\t{offset}\t{_escape(mode)}\t"
+                f"{_escape(phase)}\n"
+            )
     finally:
         if own:
             stream.close()

@@ -1,92 +1,317 @@
 """The Pablo data-capture library.
 
-A :class:`Tracer` collects :class:`~repro.pablo.records.IOEvent`
-records as the PFS client emits them.  A completed capture is a
-:class:`Trace`: an immutable event list with metadata and convenient
+A :class:`Tracer` collects I/O records as the PFS client emits them.  A
+completed capture is a :class:`Trace` with metadata and convenient
 NumPy views for the analyses.
+
+Storage is *columnar*: a live tracer appends one plain tuple per
+record (no per-record object allocation on the hot path), and a sealed
+trace holds parallel NumPy arrays — one per field — sorted by
+``(start, node)``.  The historical record-object API survives as a
+compatibility view: ``trace.events`` lazily materializes the
+:class:`~repro.pablo.records.IOEvent` list on first access, so every
+object-oriented analysis keeps working unchanged while columnar
+consumers (cdf, temporal, breakdown, reduction, SDDF export) read the
+arrays directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import TraceError
 from repro.pablo.records import IOEvent, IOOp, TraceMeta
 
+#: Operation <-> small-integer code mapping for the columnar form.
+#: Codes follow the enum declaration order and are stable within a
+#: process; they never appear in serialized traces (SDDF stores the
+#: string values).
+OP_LIST: List[IOOp] = list(IOOp)
+OP_CODE = {op: code for code, op in enumerate(OP_LIST)}
+_OP_VALUES = [op.value for op in OP_LIST]
+
 
 class Trace:
-    """A captured I/O trace: events plus descriptive metadata."""
+    """A captured I/O trace: events plus descriptive metadata.
 
-    def __init__(self, events: Iterable[IOEvent], meta: Optional[TraceMeta] = None) -> None:
-        self.events: List[IOEvent] = sorted(events, key=lambda e: (e.start, e.node))
-        self.meta = meta or TraceMeta()
-        for e in self.events:
+    Internally column-oriented; iteration and ``.events`` expose the
+    classic record view.
+    """
+
+    __slots__ = (
+        "meta",
+        "_node",
+        "_opcode",
+        "_path",
+        "_start",
+        "_duration",
+        "_nbytes",
+        "_offset",
+        "_mode",
+        "_phase",
+        "_event_cache",
+    )
+
+    def __init__(
+        self, events: Iterable[IOEvent], meta: Optional[TraceMeta] = None
+    ) -> None:
+        ordered = sorted(events, key=lambda e: (e.start, e.node))
+        for e in ordered:
             e.validate()
+        self.meta = meta or TraceMeta()
+        self._set_columns(*_columns_from_events(ordered))
+        self._event_cache: Optional[List[IOEvent]] = ordered
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        node: np.ndarray,
+        opcode: np.ndarray,
+        path: np.ndarray,
+        start: np.ndarray,
+        duration: np.ndarray,
+        nbytes: np.ndarray,
+        offset: np.ndarray,
+        mode: np.ndarray,
+        phase: np.ndarray,
+        meta: Optional[TraceMeta] = None,
+        sort: bool = True,
+        validate: bool = True,
+    ) -> "Trace":
+        """Build a trace directly from parallel column arrays.
+
+        ``sort=False`` asserts the columns are already ``(start, node)``
+        ordered (e.g. a mask applied to a sorted trace).
+        """
+        trace = cls.__new__(cls)
+        trace.meta = meta or TraceMeta()
+        if sort and len(start) > 1:
+            # Stable, so ties preserve append order like sorted() did.
+            order = np.lexsort((node, start))
+            node = node[order]
+            opcode = opcode[order]
+            path = path[order]
+            start = start[order]
+            duration = duration[order]
+            nbytes = nbytes[order]
+            offset = offset[order]
+            mode = mode[order]
+            phase = phase[order]
+        trace._set_columns(
+            node, opcode, path, start, duration, nbytes, offset, mode, phase
+        )
+        trace._event_cache = None
+        if validate:
+            trace._validate_columns()
+        return trace
+
+    def _set_columns(
+        self, node, opcode, path, start, duration, nbytes, offset, mode, phase
+    ) -> None:
+        self._node = node
+        self._opcode = opcode
+        self._path = path
+        self._start = start
+        self._duration = duration
+        self._nbytes = nbytes
+        self._offset = offset
+        self._mode = mode
+        self._phase = phase
+
+    def _validate_columns(self) -> None:
+        for column, label in (
+            (self._duration, "duration"),
+            (self._nbytes, "nbytes"),
+            (self._node, "node"),
+        ):
+            if len(column) and (column < 0).any():
+                # Materialize just the first offender so the error
+                # message matches the per-record validate() exactly.
+                index = int(np.argmax(column < 0))
+                self._event_at(index).validate()
+
+    # -- record view -------------------------------------------------------
+    @property
+    def events(self) -> List[IOEvent]:
+        """The record-object view, materialized lazily and cached."""
+        cache = self._event_cache
+        if cache is None:
+            cache = self._materialize_events()
+            self._event_cache = cache
+        return cache
+
+    def _materialize_events(self) -> List[IOEvent]:
+        ops = OP_LIST
+        # .tolist() yields Python scalars (exact float repr for SDDF).
+        return [
+            IOEvent(node, ops[code], path, start, duration, nbytes, offset,
+                    mode, phase)
+            for node, code, path, start, duration, nbytes, offset, mode, phase
+            in zip(
+                self._node.tolist(),
+                self._opcode.tolist(),
+                self._path.tolist(),
+                self._start.tolist(),
+                self._duration.tolist(),
+                self._nbytes.tolist(),
+                self._offset.tolist(),
+                self._mode.tolist(),
+                self._phase.tolist(),
+            )
+        ]
+
+    def _event_at(self, index: int) -> IOEvent:
+        return IOEvent(
+            int(self._node[index]),
+            OP_LIST[int(self._opcode[index])],
+            self._path[index],
+            float(self._start[index]),
+            float(self._duration[index]),
+            int(self._nbytes[index]),
+            int(self._offset[index]),
+            self._mode[index],
+            self._phase[index],
+        )
+
+    def export_rows(self) -> Iterator[Tuple]:
+        """Per-record ``(node, op_value, path, start, duration, nbytes,
+        offset, mode, phase)`` tuples with Python scalar types, in trace
+        order — the SDDF writer's columnar fast path."""
+        values = _OP_VALUES
+        return zip(
+            self._node.tolist(),
+            (values[code] for code in self._opcode.tolist()),
+            self._path.tolist(),
+            self._start.tolist(),
+            self._duration.tolist(),
+            self._nbytes.tolist(),
+            self._offset.tolist(),
+            self._mode.tolist(),
+            self._phase.tolist(),
+        )
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._start)
 
     def __iter__(self):
         return iter(self.events)
 
     # -- vector views ------------------------------------------------------
     def starts(self) -> np.ndarray:
-        return np.array([e.start for e in self.events], dtype=float)
+        return self._start.copy()
 
     def durations(self) -> np.ndarray:
-        return np.array([e.duration for e in self.events], dtype=float)
+        return self._duration.copy()
 
     def sizes(self) -> np.ndarray:
-        return np.array([e.nbytes for e in self.events], dtype=np.int64)
+        return self._nbytes.copy()
 
     def nodes(self) -> np.ndarray:
-        return np.array([e.node for e in self.events], dtype=np.int64)
+        return self._node.copy()
+
+    def op_codes(self) -> np.ndarray:
+        """Small-integer operation codes (indices into ``OP_LIST``)."""
+        return self._opcode.copy()
+
+    def column(self, name: str) -> np.ndarray:
+        """Internal column by field name (treat as read-only)."""
+        try:
+            return getattr(self, "_" + name)
+        except AttributeError:
+            raise TraceError(f"unknown trace column {name!r}") from None
 
     # -- convenience -----------------------------------------------------
     def select(self, predicate: Callable[[IOEvent], bool]) -> "Trace":
         """A sub-trace of events satisfying ``predicate``."""
-        return Trace([e for e in self.events if predicate(e)], self.meta)
+        mask = np.fromiter(
+            (bool(predicate(e)) for e in self.events),
+            dtype=bool,
+            count=len(self._start),
+        )
+        return self._masked(mask)
+
+    def _masked(self, mask: np.ndarray) -> "Trace":
+        return Trace.from_columns(
+            self._node[mask],
+            self._opcode[mask],
+            self._path[mask],
+            self._start[mask],
+            self._duration[mask],
+            self._nbytes[mask],
+            self._offset[mask],
+            self._mode[mask],
+            self._phase[mask],
+            meta=self.meta,
+            sort=False,
+            validate=False,
+        )
+
+    def op_mask(self, op: IOOp) -> np.ndarray:
+        return self._opcode == OP_CODE[op]
 
     def by_op(self, op: IOOp) -> "Trace":
-        return self.select(lambda e: e.op == op)
+        return self._masked(self.op_mask(op))
 
     def by_phase(self, phase: str) -> "Trace":
-        return self.select(lambda e: e.phase == phase)
+        return self._masked(self._phase == phase)
 
     def by_path(self, path: str) -> "Trace":
-        return self.select(lambda e: e.path == path)
+        return self._masked(self._path == path)
 
     def data_events(self) -> "Trace":
         """Only reads and writes."""
-        return self.select(lambda e: e.op in (IOOp.READ, IOOp.WRITE))
+        return self._masked(self.op_mask(IOOp.READ) | self.op_mask(IOOp.WRITE))
 
     @property
     def total_io_time(self) -> float:
         """Aggregate I/O time: the sum of all operation durations
         across all nodes (the paper's "total I/O time")."""
-        return float(sum(e.duration for e in self.events))
+        return float(self._duration.sum())
 
     @property
     def total_bytes(self) -> int:
-        return int(sum(e.nbytes for e in self.events))
+        return int(self._nbytes.sum())
 
     @property
     def span(self) -> float:
         """Wall-clock span from first start to last completion."""
-        if not self.events:
+        if not len(self._start):
             return 0.0
-        return max(e.end for e in self.events) - self.events[0].start
+        return float((self._start + self._duration).max() - self._start[0])
 
     def paths(self) -> List[str]:
-        return sorted({e.path for e in self.events if e.path})
+        return sorted({p for p in self._path.tolist() if p})
 
     def __repr__(self) -> str:
         return (
-            f"<Trace {len(self.events)} events "
+            f"<Trace {len(self)} events "
             f"app={self.meta.application!r} version={self.meta.version!r}>"
         )
+
+
+def _columns_from_events(events: List[IOEvent]) -> Tuple[np.ndarray, ...]:
+    n = len(events)
+    node = np.fromiter((e.node for e in events), dtype=np.int64, count=n)
+    opcode = np.fromiter(
+        (OP_CODE[e.op] for e in events), dtype=np.int8, count=n
+    )
+    start = np.fromiter((e.start for e in events), dtype=np.float64, count=n)
+    duration = np.fromiter(
+        (e.duration for e in events), dtype=np.float64, count=n
+    )
+    nbytes = np.fromiter((e.nbytes for e in events), dtype=np.int64, count=n)
+    offset = np.fromiter((e.offset for e in events), dtype=np.int64, count=n)
+    path = np.empty(n, dtype=object)
+    mode = np.empty(n, dtype=object)
+    phase = np.empty(n, dtype=object)
+    for i, e in enumerate(events):
+        path[i] = e.path
+        mode[i] = e.mode
+        phase[i] = e.phase
+    return node, opcode, path, start, duration, nbytes, offset, mode, phase
 
 
 class Tracer:
@@ -94,12 +319,15 @@ class Tracer:
 
     Supports optional *extensions* (callables invoked on every record
     before it is stored) mirroring Pablo's "data analysis extensions"
-    that could process events prior to recording.
+    that could process events prior to recording.  The hot capture path
+    (:meth:`record_fields`) appends a plain tuple per record; an
+    :class:`~repro.pablo.records.IOEvent` is only constructed when an
+    extension needs one.
     """
 
     def __init__(self, meta: Optional[TraceMeta] = None) -> None:
         self.meta = meta or TraceMeta()
-        self._events: List[IOEvent] = []
+        self._rows: List[Tuple] = []
         self._extensions: List[Callable[[IOEvent], None]] = []
         self._enabled = True
 
@@ -115,7 +343,41 @@ class Tracer:
             return
         for fn in self._extensions:
             fn(event)
-        self._events.append(event)
+        self._rows.append(
+            (event.node, event.op, event.path, event.start, event.duration,
+             event.nbytes, event.offset, event.mode, event.phase)
+        )
+
+    def record_fields(
+        self,
+        node: int,
+        op: IOOp,
+        path: str,
+        start: float,
+        duration: float,
+        nbytes: int = 0,
+        offset: int = -1,
+        mode: str = "",
+        phase: str = "",
+    ) -> None:
+        """Capture one event without allocating a record object."""
+        if not self._enabled:
+            return
+        if self._extensions:
+            event = IOEvent(
+                node, op, path, start, duration, nbytes, offset, mode, phase
+            )
+            for fn in self._extensions:
+                fn(event)
+            self._rows.append(
+                (event.node, event.op, event.path, event.start,
+                 event.duration, event.nbytes, event.offset, event.mode,
+                 event.phase)
+            )
+            return
+        self._rows.append(
+            (node, op, path, start, duration, nbytes, offset, mode, phase)
+        )
 
     def pause(self) -> None:
         """Stop capturing (instrumentation off)."""
@@ -126,11 +388,29 @@ class Tracer:
 
     @property
     def event_count(self) -> int:
-        return len(self._events)
+        return len(self._rows)
 
     def finish(self) -> Trace:
         """Seal the capture into an analyzable :class:`Trace`."""
-        return Trace(self._events, self.meta)
+        rows = self._rows
+        if not rows:
+            return Trace([], self.meta)
+        node, op, path, start, duration, nbytes, offset, mode, phase = (
+            zip(*rows)
+        )
+        n = len(rows)
+        return Trace.from_columns(
+            np.array(node, dtype=np.int64),
+            np.fromiter((OP_CODE[o] for o in op), dtype=np.int8, count=n),
+            np.array(path, dtype=object),
+            np.array(start, dtype=np.float64),
+            np.array(duration, dtype=np.float64),
+            np.array(nbytes, dtype=np.int64),
+            np.array(offset, dtype=np.int64),
+            np.array(mode, dtype=object),
+            np.array(phase, dtype=object),
+            meta=self.meta,
+        )
 
     def __repr__(self) -> str:
-        return f"<Tracer events={len(self._events)} enabled={self._enabled}>"
+        return f"<Tracer events={len(self._rows)} enabled={self._enabled}>"

@@ -16,6 +16,7 @@ read-after-write integrity exact in the simulator.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -46,6 +47,8 @@ class ReadBuffer:
         self._start: Optional[int] = None
         self._end: int = 0
         self._extents: List[Extent] = []
+        #: Parallel extent start offsets for bisect in :meth:`serve`.
+        self._extent_starts: List[int] = []
         self._generation: int = -1
         self.stats = BufferStats()
 
@@ -62,14 +65,35 @@ class ReadBuffer:
         return self._start <= offset and offset + nbytes <= self._end
 
     def serve(self, offset: int, nbytes: int) -> List[Extent]:
-        """Serve a covered read (call :meth:`covers` first)."""
+        """Serve a covered read (call :meth:`covers` first).
+
+        The installed extents are sorted and non-overlapping (they come
+        from :meth:`ExtentMap.read`), so the overlap scan starts at the
+        bisect position and stops at the first extent past the range.
+        """
         if not self.covers(offset, nbytes):
             raise PFSError("read not covered by buffer")
         self.stats.hits += 1
-        out = []
-        for ext in self._extents:
-            s = max(ext.start, offset)
-            e = min(ext.end, offset + nbytes)
+        end = offset + nbytes
+        out: List[Extent] = []
+        extents = self._extents
+        first = bisect_right(self._extent_starts, offset) - 1
+        if first < 0:
+            first = 0
+        for index in range(first, len(extents)):
+            ext = extents[index]
+            s = ext.start
+            if s >= end:
+                break
+            e = ext.end
+            if s >= offset and e <= end:
+                # Fully inside the request: reuse the frozen extent.
+                out.append(ext)
+                continue
+            if s < offset:
+                s = offset
+            if e > end:
+                e = end
             if s < e:
                 out.append(Extent(s, e, ext.token))
         return out
@@ -91,11 +115,13 @@ class ReadBuffer:
         self._start = start
         self._end = start + nbytes
         self._extents = list(extents)
+        self._extent_starts = [e.start for e in self._extents]
         self._generation = self.file_state._next_token
 
     def invalidate(self) -> None:
         self._start = None
         self._extents = []
+        self._extent_starts = []
 
     def __repr__(self) -> str:
         span = (

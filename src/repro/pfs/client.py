@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
 
 from repro.errors import AccessModeError, PFSError
 from repro.machine.paragon import ParagonXPS
-from repro.pablo.records import IOEvent, IOOp
+from repro.pablo.records import IOOp
 from repro.pfs.collective import CollectiveRegistry
 from repro.pfs.costs import PFSCostModel
 from repro.pfs.file import Extent, SharedFileState
@@ -70,7 +70,7 @@ class PFS:
     costs:
         Service-time constants (defaults to the calibrated model).
     tracer:
-        Optional Pablo tracer; must expose ``record(IOEvent)``.
+        Optional Pablo tracer; must expose ``record_fields(...)``.
     cache_blocks:
         Stripe-server cache capacity, in stripe-sized blocks.
     """
@@ -148,18 +148,16 @@ class PFSNodeClient:
         tracer = self.pfs.tracer
         if tracer is None:
             return
-        tracer.record(
-            IOEvent(
-                node=self.rank,
-                op=op,
-                path=path,
-                start=start,
-                duration=self.env.now - start,
-                nbytes=nbytes,
-                offset=offset,
-                mode=mode,
-                phase=self.phase,
-            )
+        tracer.record_fields(
+            self.rank,
+            op,
+            path,
+            start,
+            self.env.now - start,
+            nbytes,
+            offset,
+            mode,
+            self.phase,
         )
 
     # ------------------------------------------------------------------

@@ -149,6 +149,11 @@ class ExtentMap:
                 break
             if ext.end <= start:
                 continue
+            if ext.start >= start and ext.end <= end:
+                # Fully inside the request: reuse the frozen extent
+                # instead of constructing an identical clipped copy.
+                out.append(ext)
+                continue
             lo, hi = max(ext.start, start), min(ext.end, end)
             if lo < hi:
                 out.append(Extent(lo, hi, ext.token))

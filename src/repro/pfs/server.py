@@ -79,8 +79,8 @@ class StripeServer:
             yield self.env.timeout(self.costs.cache_hit_service)
             self._cpu.release(grant)
             return
-        yield self.env.process(
-            self.ionode.submit(node, "read", piece.disk_offset, piece.nbytes)
+        yield from self.ionode.submit(
+            node, "read", piece.disk_offset, piece.nbytes
         )
         if cached:
             self.cache.insert(self._block_key(piece, file_id), dirty=False)
@@ -101,11 +101,9 @@ class StripeServer:
         """
         self.writes += 1
         self.bytes_written += piece.nbytes
-        yield self.env.process(
-            self.ionode.submit(
-                node, "write", piece.disk_offset, piece.nbytes,
-                rmw=self._is_substripe(piece),
-            )
+        yield from self.ionode.submit(
+            node, "write", piece.disk_offset, piece.nbytes,
+            rmw=self._is_substripe(piece),
         )
         if cached:
             self.cache.insert(self._block_key(piece, file_id), dirty=False)
@@ -142,11 +140,9 @@ class StripeServer:
         self.env.process(self._drain(node, key, piece, slot), name="wb-drain")
 
     def _drain(self, node: int, key, piece: StripePiece, slot) -> Generator:
-        yield self.env.process(
-            self.ionode.submit(
-                node, "write", piece.disk_offset, piece.nbytes,
-                rmw=self._is_substripe(piece),
-            )
+        yield from self.ionode.submit(
+            node, "write", piece.disk_offset, piece.nbytes,
+            rmw=self._is_substripe(piece),
         )
         self.cache.mark_clean(key)
         self._wb_slots.release(slot)

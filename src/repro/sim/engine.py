@@ -1,17 +1,65 @@
-"""The discrete-event engine: clock, event queue, and run loop."""
+"""The discrete-event engine: clock, event queue, and run loop.
+
+Two run-loop implementations share the same observable schedule:
+
+- the *fast* loop (default) keeps a two-level calendar queue — a heap
+  of distinct timestamps plus per-timestamp priority buckets — so all
+  same-time events drain in one batch with O(1) inserts and pops, and
+  recycles :class:`Timeout` / ``Initialize`` events (and their callback
+  lists) through free-list pools;
+- the *legacy* loop (``REPRO_FAST_CORE=0``) is the seed kernel's
+  ``step()``-per-event path over a single ``(time, priority, seq,
+  event)`` heap, kept as an in-process baseline for the perf suite and
+  as a determinism cross-check.
+
+Both produce bit-for-bit identical simulations.  The bucket queue
+preserves the heap's dispatch order exactly: within one ``(time,
+priority)`` class the heap's sequence tiebreak equals insertion order,
+which equals bucket append order; across priorities at the same time
+the drain loop re-checks the urgent bucket before every event, just as
+the heap would surface a newly pushed urgent entry first.  Pooling
+only changes *when object storage is reused*, never the order or
+timing of events.
+"""
 
 from __future__ import annotations
 
-from heapq import heappush, heappop
-from typing import Generator, List, Optional, Tuple
+import os
+from collections import deque
+from heapq import heapify, heappush, heappop
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.errors import EmptySchedule, SimulationError, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Initialize,
+    Timeout,
+    NORMAL,
+    URGENT,
+)
 from repro.sim.process import Process
 
-#: Queue entry: (time, priority, sequence, event).  ``sequence`` breaks
-#: ties deterministically in insertion order.
+#: Legacy queue entry: (time, priority, sequence, event).  ``sequence``
+#: breaks ties deterministically in insertion order.
 _QueueItem = Tuple[float, int, int, Event]
+
+#: Fast-mode bucket: one deque per priority class (URGENT, NORMAL, and
+#: the below-normal class used by ``run(until=<time>)`` stoppers).
+_Bucket = Tuple[deque, deque, deque]
+
+#: Upper bound on each free-list pool; beyond this, events are simply
+#: dropped to the garbage collector.  Sized to the deepest concurrent
+#: event population seen in paper-scale runs (a few hundred).
+_POOL_MAX = 1024
+
+#: Never-equal sentinel marking the bucket memo invalid.
+_NAN = float("nan")
+
+
+def _fast_core_default() -> bool:
+    return os.environ.get("REPRO_FAST_CORE", "1") != "0"
 
 
 class Engine:
@@ -34,11 +82,46 @@ class Engine:
     'done at 2.0'
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_fast",
+        "_times",
+        "_buckets",
+        "_bucket_pool",
+        "_memo_when",
+        "_memo_append",
+        "_timeout_pool",
+        "_init_pool",
+        "_cb_pool",
+    )
+
+    def __init__(
+        self, initial_time: float = 0.0, fast: Optional[bool] = None
+    ) -> None:
         self._now = float(initial_time)
+        #: Legacy heap (used when ``fast`` is off).
         self._queue: List[_QueueItem] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Fast run loop + calendar queue + event recycling.
+        self._fast = _fast_core_default() if fast is None else bool(fast)
+        #: Heap of distinct timestamps with pending buckets.
+        self._times: List[float] = []
+        #: timestamp -> (urgent, normal, late) deques.
+        self._buckets: Dict[float, _Bucket] = {}
+        self._bucket_pool: List[_Bucket] = []
+        #: Memo of the most recent timeout-insertion target: bursts of
+        #: same-time timeouts (barriers, stripe fan-outs) append without
+        #: re-resolving the bucket.  ``nan`` never compares equal, so it
+        #: marks the memo invalid (set whenever a bucket is retired).
+        self._memo_when: float = _NAN
+        self._memo_append = None
+        self._timeout_pool: List[Timeout] = []
+        self._init_pool: List[Initialize] = []
+        self._cb_pool: List[list] = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -58,7 +141,55 @@ class Engine:
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create an event that triggers ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            ev = pool.pop()
+            cb_pool = self._cb_pool
+            ev.callbacks = cb_pool.pop() if cb_pool else []
+            ev._value = value
+            ev._ok = True
+            ev._defused = False
+            ev._pooled = True
+            ev.delay = delay
+            when = self._now + delay
+            if when == self._memo_when:
+                self._memo_append(ev)
+                return ev
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                heappush(self._times, when)
+                bpool = self._bucket_pool
+                bucket = bpool.pop() if bpool else (deque(), deque(), deque())
+                self._buckets[when] = bucket
+            self._memo_when = when
+            append = bucket[1].append  # NORMAL
+            self._memo_append = append
+            append(ev)
+            return ev
+        ev = Timeout(self, delay, value)
+        if self._fast:
+            ev._pooled = True
+        return ev
+
+    def _init_event(self) -> Initialize:
+        """An :class:`Initialize` event, recycled when possible."""
+        pool = self._init_pool
+        if pool:
+            ev = pool.pop()
+            cb_pool = self._cb_pool
+            ev.callbacks = cb_pool.pop() if cb_pool else []
+            ev._value = None
+            ev._ok = True
+            ev._defused = False
+            ev._pooled = True
+            self._insert(self._now, URGENT, ev)
+            return ev
+        ev = Initialize(self)
+        if self._fast:
+            ev._pooled = True
+        return ev
 
     def process(
         self,
@@ -77,25 +208,83 @@ class Engine:
         return AnyOf(self, events)
 
     # -- scheduling (internal API used by events) --------------------------
+    def _insert(self, when: float, priority: int, event: Event) -> None:
+        """Fast-mode calendar insert at absolute time ``when``."""
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            heappush(self._times, when)
+            bpool = self._bucket_pool
+            bucket = bpool.pop() if bpool else (deque(), deque(), deque())
+            self._buckets[when] = bucket
+        bucket[priority].append(event)
+
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._eid += 1
-        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self._fast:
+            self._insert(self._now + delay, priority, event)
+        else:
+            self._eid += 1
+            heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._fast:
+            times = self._times
+            buckets = self._buckets
+            while times:
+                when = times[0]
+                bucket = buckets[when]
+                if bucket[0] or bucket[1] or bucket[2]:
+                    return when
+                # Drained or defused in place (e.g. a removed stopper):
+                # discard lazily.
+                del buckets[when]
+                heappop(times)
+                if when == self._memo_when:
+                    self._memo_when = _NAN
+                if len(self._bucket_pool) < _POOL_MAX:
+                    self._bucket_pool.append(bucket)
+            return float("inf")
         return self._queue[0][0] if self._queue else float("inf")
+
+    def _pop_next(self) -> Event:
+        """Fast mode: remove and return the next event, advancing time."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            if bucket[0]:
+                event = bucket[0].popleft()
+            elif bucket[1]:
+                event = bucket[1].popleft()
+            elif bucket[2]:
+                event = bucket[2].popleft()
+            else:
+                del buckets[when]
+                heappop(times)
+                if when == self._memo_when:
+                    self._memo_when = _NAN
+                if len(self._bucket_pool) < _POOL_MAX:
+                    self._bucket_pool.append(bucket)
+                continue
+            self._now = when
+            return event
+        raise EmptySchedule("no scheduled events remain")
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to it."""
-        try:
-            when, _prio, _eid, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events remain") from None
+        if self._fast:
+            event = self._pop_next()
+        else:
+            try:
+                when, _prio, _eid, event = heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule("no scheduled events remain") from None
+            self._now = when
 
-        self._now = when
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
             raise SimulationError(f"{event!r} processed twice")
@@ -110,6 +299,12 @@ class Engine:
                 raise exc
             raise SimulationError(f"event failed with non-exception {exc!r}")
 
+    def _pending(self) -> bool:
+        """Whether any event remains scheduled."""
+        if self._fast:
+            return self.peek() != float("inf")
+        return bool(self._queue)
+
     def run(self, until: object = None) -> object:
         """Run until the queue drains, a time is reached, or an event fires.
 
@@ -122,12 +317,16 @@ class Engine:
             return its value.
         """
         stop_event: Optional[Event] = None
+        stopper: Optional[Event] = None
+        at = 0.0
         if until is not None:
             if isinstance(until, Event):
                 stop_event = until
                 if stop_event.callbacks is None:
                     # Already processed.
                     return stop_event.value
+                # Pin: the caller reads ``.value`` after the run.
+                stop_event._pooled = False
                 stop_event.callbacks.append(self._stop_on_event)
             else:
                 at = float(until)
@@ -140,16 +339,41 @@ class Engine:
                 stopper._value = None
                 stopper.callbacks.append(self._stop_on_event)
                 # Priority below NORMAL so same-time events run first.
-                self._eid += 1
-                heappush(self._queue, (at, NORMAL + 1, self._eid, stopper))
+                if self._fast:
+                    self._insert(at, NORMAL + 1, stopper)
+                else:
+                    self._eid += 1
+                    heappush(self._queue, (at, NORMAL + 1, self._eid, stopper))
 
         try:
-            while self._queue:
-                self.step()
+            if self._fast:
+                self._run_fast()
+            else:
+                while self._queue:
+                    self.step()
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
             pass
+        finally:
+            if stopper is not None and stopper.callbacks is not None:
+                # The run ended some other way (another event raised
+                # StopSimulation, or the queue drained early): remove the
+                # pending stopper so it can't pollute ``peek()`` or a
+                # later ``run()``.
+                if self._fast:
+                    bucket = self._buckets.get(at)
+                    if bucket is not None:
+                        try:
+                            bucket[2].remove(stopper)
+                        except ValueError:  # pragma: no cover - defensive
+                            pass
+                else:
+                    self._queue = [
+                        item for item in self._queue if item[3] is not stopper
+                    ]
+                    heapify(self._queue)
+                stopper.callbacks = None
 
         if stop_event is not None and isinstance(until, Event):
             if not stop_event.triggered:
@@ -158,6 +382,76 @@ class Engine:
                 )
             return stop_event.value
         return None
+
+    def _run_fast(self) -> None:
+        """Batch-draining dispatch loop with event recycling.
+
+        Pops each distinct timestamp off the time heap once, then
+        drains its whole bucket with O(1) deque pops — re-checking the
+        urgent bucket before every event so a callback that schedules
+        an urgent same-time event preserves heap dispatch order.
+        Processed :class:`Timeout` / ``Initialize`` events (plus their
+        callback lists and emptied buckets) return to free-list pools
+        unless pinned.
+        """
+        times = self._times
+        buckets = self._buckets
+        bucket_pool = self._bucket_pool
+        timeout_pool = self._timeout_pool
+        init_pool = self._init_pool
+        cb_pool = self._cb_pool
+        timeout_cls = Timeout
+        init_cls = Initialize
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            urgent, normal, late = bucket
+            pop_urgent = urgent.popleft
+            pop_normal = normal.popleft
+            pop_late = late.popleft
+            self._now = when
+            while True:
+                if urgent:
+                    event = pop_urgent()
+                elif normal:
+                    event = pop_normal()
+                elif late:
+                    event = pop_late()
+                else:
+                    break
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+
+                if not event._ok and not event._defused:
+                    # An unhandled failure crashes the simulation,
+                    # mirroring an uncaught exception in a thread.
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(
+                        f"event failed with non-exception {exc!r}"
+                    )
+
+                if event._pooled:
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if len(timeout_pool) < _POOL_MAX:
+                            timeout_pool.append(event)
+                    elif cls is init_cls and len(init_pool) < _POOL_MAX:
+                        init_pool.append(event)
+                if len(cb_pool) < _POOL_MAX:
+                    callbacks.clear()
+                    cb_pool.append(callbacks)
+            del buckets[when]
+            heappop(times)
+            self._memo_when = _NAN
+            if len(bucket_pool) < _POOL_MAX:
+                bucket_pool.append(bucket)
 
     @staticmethod
     def _stop_on_event(event: Event) -> None:
@@ -168,4 +462,11 @@ class Engine:
         raise StopSimulation(event._value)
 
     def __repr__(self) -> str:
-        return f"<Engine t={self._now:.6f} queued={len(self._queue)}>"
+        if self._fast:
+            queued = sum(
+                len(b[0]) + len(b[1]) + len(b[2])
+                for b in self._buckets.values()
+            )
+        else:
+            queued = len(self._queue)
+        return f"<Engine t={self._now:.6f} queued={queued}>"

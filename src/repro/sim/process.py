@@ -57,7 +57,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None when
         #: running or finished).
-        self._target: Optional[Event] = Initialize(env)
+        self._target: Optional[Event] = env._init_event()
         self._target.callbacks.append(self._resume)
 
     @property
@@ -94,28 +94,30 @@ class Process(Event):
     # -- engine callback -------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        gen = self._generator
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = gen.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = gen.throw(event._value)
             except StopIteration as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(next_event, Event):
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
@@ -140,7 +142,7 @@ class Process(Event):
             # Already processed: loop immediately with its outcome.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"

@@ -10,7 +10,7 @@ order* on synchronized access modes.
 
 from __future__ import annotations
 
-from heapq import heappush, heappop
+from heapq import heapify, heappush, heappop
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -168,11 +168,9 @@ class PriorityResource(Resource):
             self.users.remove(request)
             self._grant()
         else:
-            # Lazy removal: mark withdrawn; skipped when popped.
+            # Withdraw a pending request: rebuild the heap without it.
             self._heap = [(k, r) for (k, r) in self._heap if r is not request]
-            import heapq
-
-            heapq.heapify(self._heap)
+            heapify(self._heap)
         self._record()
 
     def _grant(self) -> None:

@@ -2,6 +2,25 @@
 
 import pytest
 
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_run_cache(tmp_path_factory):
+    """Point the on-disk run cache at a per-session temp directory.
+
+    Tests still exercise the cache layer (store + load round-trips),
+    but never read stale entries from — or write into — the user's
+    real ``~/.cache/repro``.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("run-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
 from repro.machine import DiskConfig, MachineConfig, NetworkConfig, ParagonXPS
 from repro.pablo import Tracer
 from repro.pfs import PFS, PFSCostModel

@@ -1,0 +1,102 @@
+"""Determinism regressions for the fast simulation core.
+
+The fast kernel (calendar queue + event pooling), the columnar tracer,
+and the on-disk run cache must all be invisible in the results: the
+same SDDF bytes and the same table rows, however the run executed.
+"""
+
+import io
+
+import pytest
+
+from repro.apps import run_escat, scaled_escat_problem
+from repro.core.breakdown import io_time_breakdown
+from repro.experiments import cache
+from repro.experiments import runner
+from repro.experiments.registry import run_experiment
+from repro.pablo.sddf import write_sddf
+from repro.sim import Engine
+
+SEED = 1996
+
+
+def _escat_sddf(monkeypatch, fast_core):
+    monkeypatch.setenv("REPRO_FAST_CORE", "1" if fast_core else "0")
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    result = run_escat("A", problem, seed=SEED)
+    out = io.StringIO()
+    write_sddf(result.trace, out)
+    return out.getvalue(), result
+
+
+def test_fast_and_legacy_kernels_are_bit_identical(monkeypatch):
+    fast_sddf, fast_result = _escat_sddf(monkeypatch, fast_core=True)
+    legacy_sddf, legacy_result = _escat_sddf(monkeypatch, fast_core=False)
+    assert fast_sddf == legacy_sddf
+    # Table 2 rows (per-op totals, counts, percentages) match exactly.
+    fast_b = io_time_breakdown(fast_result.trace)
+    legacy_b = io_time_breakdown(legacy_result.trace)
+    assert fast_b.totals == legacy_b.totals
+    assert fast_b.counts == legacy_b.counts
+
+
+def test_cached_run_is_bit_identical_to_fresh(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    runner.clear_cache()
+    fresh = runner.escat_result("A", fast=True, seed=SEED)
+
+    # Drop the in-process memo so the next call must hit the disk.
+    runner.clear_cache()
+    cached = runner.escat_result("A", fast=True, seed=SEED)
+    assert cached is not fresh  # really reloaded, not memoized
+
+    fresh_out, cached_out = io.StringIO(), io.StringIO()
+    write_sddf(fresh.trace, fresh_out)
+    write_sddf(cached.trace, cached_out)
+    assert fresh_out.getvalue() == cached_out.getvalue()
+    fresh_b = io_time_breakdown(fresh.trace)
+    cached_b = io_time_breakdown(cached.trace)
+    assert fresh_b.totals == cached_b.totals
+    assert fresh_b.counts == cached_b.counts
+
+
+def test_cache_round_trip_preserves_metadata(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    result = run_escat("A", problem, seed=SEED)
+    key = cache.run_key(kind="t", version="A", problem=problem, seed=SEED)
+    cache.store(key, result)
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.application == result.application
+    assert loaded.version == result.version
+    assert loaded.n_nodes == result.n_nodes
+    assert loaded.wall_time == result.wall_time
+    assert len(loaded.trace) == len(result.trace)
+
+
+def test_table2_identical_across_kernels(monkeypatch):
+    runner.clear_cache()
+    monkeypatch.setenv("REPRO_FAST_CORE", "1")
+    fast_text = run_experiment("table2", fast=True)
+    runner.clear_cache()
+    monkeypatch.setenv("REPRO_FAST_CORE", "0")
+    monkeypatch.setenv("REPRO_CACHE", "0")  # force re-simulation
+    legacy_text = run_experiment("table2", fast=True)
+    assert fast_text == legacy_text
+
+
+def test_run_until_leaves_no_stopper_behind():
+    # Regression: run(until=<time>) used to leave its internal stopper
+    # event queued when the run ended early via StopSimulation raised
+    # by another event, polluting peek().
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+
+    eng.process(proc(eng))
+    eng.run(until=100.0)  # queue drains long before t=100
+    assert eng.peek() == float("inf")

@@ -1,0 +1,84 @@
+"""Smoke checks for the performance suite (tier-1 wiring).
+
+These keep the bench machinery honest — the workloads run, the report
+has the documented shape, and the CLI exposes it — without asserting
+speedup ratios, which a loaded CI box cannot measure reliably.  The
+real numbers come from ``repro bench`` / ``benchmarks/run_perf.sh``
+(``--quick`` finishes in under a minute) and land in
+``BENCH_core.json``.
+"""
+
+import json
+
+from repro.experiments import perfbench
+from repro.sim import Engine
+
+
+def test_churn_workload_counts_events():
+    env = Engine()
+    assert perfbench._churn(env, 2_000, fan=255) == 2_000
+    assert env.peek() == float("inf") or env.peek() > 0  # drained cleanly
+
+
+def test_compare_reports_both_kernels():
+    out = perfbench._compare(
+        lambda env: perfbench._churn(env, 5_000, fan=255), repeats=1
+    )
+    assert out["legacy_events_per_s"] > 0
+    assert out["fast_events_per_s"] > 0
+    assert out["speedup"] > 0
+    assert out["repeats"] == 1
+
+
+def test_tracer_bench_shape():
+    out = perfbench.bench_tracer(quick=True)
+    assert out["records_per_s"] > 0
+    assert out["finish_records_per_s"] > 0
+    assert out["n_records"] == 100_000
+
+
+def test_report_render_and_write(tmp_path):
+    payload = {
+        "benchmark": "repro fast simulation core",
+        "quick": True,
+        "engine": {
+            "legacy_events_per_s": 100, "fast_events_per_s": 400,
+            "speedup": 4.0, "repeats": 1, "workload": "w",
+        },
+        "engine_process_driven": {
+            "legacy_events_per_s": 100, "fast_events_per_s": 200,
+            "speedup": 2.0, "repeats": 1, "workload": "w",
+        },
+        "tracer": {
+            "records_per_s": 1000, "finish_records_per_s": 1000,
+            "n_records": 10,
+        },
+        "end_to_end": {
+            "fresh_wall_s": 1.0, "cached_wall_s": 0.5, "records": 10,
+            "speedup_vs_pre_pr": 5.0, "cached_speedup_vs_pre_pr": 10.0,
+        },
+        "baseline_pre_pr": perfbench.PRE_PR_BASELINE,
+        "criteria": {
+            **perfbench.CRITERIA, "engine_ok": True, "end_to_end_ok": True,
+        },
+        "environment": {},
+        "suite_wall_s": 2.0,
+    }
+    text = perfbench.render(payload)
+    assert "speedup 4.00x" in text
+    assert "ok" in text
+    out = tmp_path / "BENCH_core.json"
+    perfbench.write_report(payload, str(out))
+    assert json.loads(out.read_text())["engine"]["speedup"] == 4.0
+
+
+def test_cli_exposes_bench_and_cache_flags():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--quick", "--output", "x.json"])
+    assert args.quick and args.output == "x.json"
+    args = parser.parse_args(["validate", "--jobs", "4", "--no-cache"])
+    assert args.jobs == 4 and args.no_cache
+    args = parser.parse_args(["all", "--jobs", "2"])
+    assert args.jobs == 2 and not args.no_cache
