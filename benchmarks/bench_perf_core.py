@@ -27,16 +27,22 @@ def main(argv=None) -> int:
         "--output", default="BENCH_core.json",
         help="where to write the JSON report (default: ./BENCH_core.json)",
     )
+    parser.add_argument(
+        "--datapath-output", default="BENCH_datapath.json",
+        help="where to write the data-path report "
+             "(default: ./BENCH_datapath.json; empty string skips it)",
+    )
     args = parser.parse_args(argv)
 
     import os
 
-    out_dir = os.path.dirname(args.output) or "."
-    if not os.path.isdir(out_dir):
-        # Fail before spending half a minute benchmarking.
-        print(f"error: output directory does not exist: {out_dir}",
-              file=sys.stderr)
-        return 1
+    for output in (args.output, args.datapath_output):
+        out_dir = os.path.dirname(output) or "."
+        if output and not os.path.isdir(out_dir):
+            # Fail before spending half a minute benchmarking.
+            print(f"error: output directory does not exist: {out_dir}",
+                  file=sys.stderr)
+            return 1
 
     from repro.experiments import perfbench
 
@@ -44,6 +50,12 @@ def main(argv=None) -> int:
     perfbench.write_report(payload, args.output)
     print(perfbench.render(payload))
     print(f"wrote {args.output}")
+
+    if args.datapath_output:
+        dp_payload = perfbench.run_datapath_suite(quick=args.quick)
+        perfbench.write_report(dp_payload, args.datapath_output)
+        print(perfbench.render_datapath(dp_payload))
+        print(f"wrote {args.datapath_output}")
     return 0
 
 

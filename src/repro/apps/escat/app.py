@@ -299,7 +299,10 @@ def run_escat(
         shared = shared_holder.get("shared")
         if shared is None:
             shared = shared_holder["shared"] = _SharedState(ctx, problem)
-        yield from escat_rank_process(ctx, rank, v, problem, shared)
+        # Return the generator directly (no ``yield from`` wrapper): a
+        # delegation frame here would be re-entered on every resume of
+        # every rank, which is pure overhead at paper scale.
+        return escat_rank_process(ctx, rank, v, problem, shared)
 
     return run_application(
         rank_process,

@@ -85,14 +85,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.experiments import perfbench
 
-    out_dir = os.path.dirname(args.output) or "."
-    if not os.path.isdir(out_dir):
-        # Fail before spending half a minute benchmarking.
-        raise ReproError(f"output directory does not exist: {out_dir}")
+    for output in (args.output, args.datapath_output):
+        out_dir = os.path.dirname(output) or "."
+        if output and not os.path.isdir(out_dir):
+            # Fail before spending half a minute benchmarking.
+            raise ReproError(f"output directory does not exist: {out_dir}")
     payload = perfbench.run_suite(quick=args.quick)
     perfbench.write_report(payload, args.output)
     print(perfbench.render(payload))
     print(f"wrote {args.output}")
+    if args.datapath_output:
+        dp_payload = perfbench.run_datapath_suite(quick=args.quick)
+        perfbench.write_report(dp_payload, args.datapath_output)
+        print(perfbench.render_datapath(dp_payload))
+        print(f"wrote {args.datapath_output}")
     return 0
 
 
@@ -229,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="smaller repeats; finishes in under a minute")
     p.add_argument("--output", default="BENCH_core.json")
+    p.add_argument("--datapath-output", default="BENCH_datapath.json",
+                   help="data-path report path (empty string skips it)")
     p.set_defaults(fn=_cmd_bench)
     return parser
 

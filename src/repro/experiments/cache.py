@@ -21,6 +21,12 @@ Layout::
 
 Writes are atomic (temp file + ``os.replace``) and the JSON sidecar is
 written last, so a torn write can never produce a loadable entry.
+The cache is size-capped: after every store, least-recently-used
+entries are evicted until the total footprint fits under
+``REPRO_CACHE_MAX_BYTES`` (default 2 GiB; ``0`` or negative disables
+the cap).  Recency is the sidecar mtime, refreshed on every hit;
+eviction removes the sidecar first, so an interrupted eviction leaves
+at worst an orphaned trace file that can never load as a stale entry.
 Environment knobs: ``REPRO_CACHE=0`` disables the cache entirely;
 ``REPRO_CACHE_DIR`` relocates it.
 """
@@ -45,8 +51,23 @@ from repro.pablo.sddf import read_sddf, write_sddf
 CACHE_EPOCH = 1
 
 
+#: Default size cap for the on-disk run cache (2 GiB).
+DEFAULT_CACHE_MAX_BYTES = 2 * 1024**3
+
+
 def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_max_bytes() -> int:
+    """The cache size cap in bytes; ``<= 0`` means uncapped."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if raw is None:
+        return DEFAULT_CACHE_MAX_BYTES
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_MAX_BYTES
 
 
 def cache_dir() -> Path:
@@ -109,6 +130,10 @@ def load(key: str) -> Optional[AppRunResult]:
     try:
         meta = json.loads(meta_path.read_text())
         trace = read_sddf(trace_path)
+        try:
+            os.utime(meta_path)  # refresh LRU recency on hit
+        except OSError:
+            pass
         return AppRunResult(
             application=meta["application"],
             version=meta["version"],
@@ -141,6 +166,59 @@ def store(key: str, result: AppRunResult) -> None:
         _atomic_write(meta_path, lambda f: json.dump(meta, f))
     except OSError:
         return
+    evict(keep_key=key)
+
+
+def evict(keep_key: str = "") -> int:
+    """Remove least-recently-used entries until the cache fits under
+    :func:`cache_max_bytes`.  Returns the number of entries evicted.
+
+    ``keep_key`` (typically the entry just stored) is never evicted —
+    a single over-cap run should still be cached for its next use.
+    The sidecar is unlinked before the trace, so a crash mid-eviction
+    can only leave an orphaned (unloadable) trace file, never a
+    loadable half-entry.
+    """
+    cap = cache_max_bytes()
+    if cap <= 0:
+        return 0
+    root = cache_dir()
+    if not root.exists():
+        return 0
+    entries = []
+    total = 0
+    for meta_path in root.rglob("*.json"):
+        trace_path = meta_path.with_suffix(".sddf")
+        try:
+            stat = meta_path.stat()
+            size = stat.st_size
+            if trace_path.exists():
+                size += trace_path.stat().st_size
+        except OSError:
+            continue
+        total += size
+        entries.append((stat.st_mtime, meta_path.stem, meta_path,
+                        trace_path, size))
+    if total <= cap:
+        return 0
+    entries.sort()
+    removed = 0
+    for _mtime, key, meta_path, trace_path, size in entries:
+        if total <= cap:
+            break
+        if key == keep_key:
+            continue
+        try:
+            meta_path.unlink()
+        except OSError:
+            continue
+        try:
+            trace_path.unlink()
+        except OSError:
+            pass
+        total -= size
+        removed += 1
+    return removed
 
 
 def _atomic_write(path: Path, writer) -> None:

@@ -76,6 +76,45 @@ class RAID3Array:
         self.bytes_serviced += nbytes
         return duration
 
+    def plan_batch(self, pieces) -> list:
+        """Price a back-to-back run of ``(offset, nbytes, rmw)`` requests.
+
+        Returns one duration per request, computed columnarly by the
+        exact :meth:`service_time` expressions, chaining the head
+        position through the batch — but **without** touching the
+        array's real state.  The batched data path commits each planned
+        request later (at its service-start instant) via
+        :meth:`commit_planned`, so an uncontended batch prices in one
+        pass while the observable disk state evolves exactly as if
+        :meth:`service_time` had been called per request.
+        """
+        cfg = self.config
+        seq_overhead = cfg.sequential_overhead
+        positioning = cfg.positioning
+        rmw_extra = cfg.write_rmw_penalty * cfg.positioning
+        request_overhead = cfg.request_overhead
+        rate = cfg.transfer_rate
+        next_offset = self._next_offset
+        out = []
+        append = out.append
+        for offset, nbytes, rmw in pieces:
+            if next_offset is not None and offset == next_offset:
+                position = seq_overhead
+            else:
+                position = positioning
+                if rmw:
+                    position += rmw_extra
+            append(request_overhead + position + nbytes / rate)
+            next_offset = offset + nbytes
+        return out
+
+    def commit_planned(self, offset: int, nbytes: int, duration: float) -> None:
+        """Apply the state effects of one request priced by :meth:`plan_batch`."""
+        self._next_offset = offset + nbytes
+        self.busy_time += duration
+        self.requests += 1
+        self.bytes_serviced += nbytes
+
     def peek_service_time(self, offset: int, nbytes: int) -> float:
         """Like :meth:`service_time` but without state updates."""
         if nbytes < 0 or offset < 0:

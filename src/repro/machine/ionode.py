@@ -72,6 +72,10 @@ class IONode:
         self.completed = 0
         self.total_queue_delay = 0.0
         self.total_service = 0.0
+        #: Installed by the stripe server fronting this node: called
+        #: before any event-stepped submit so an active batched span on
+        #: the server is settled back into real queue state first.
+        self.settle_hook = None
 
     @property
     def queue_length(self) -> int:
@@ -80,18 +84,23 @@ class IONode:
 
     def submit(
         self, node: int, kind: str, offset: int, nbytes: int,
-        rmw: bool = False,
+        rmw: bool = False, issued_at: float = None,
     ) -> Generator:
         """Process step: queue for the disk, service, return the request.
 
         The yielded duration (queue wait + service) is exactly what a
         synchronous client observes for the disk portion of its call.
         ``rmw`` marks sub-stripe writes that pay the RAID-3
-        read-modify-write penalty when non-sequential.
+        read-modify-write penalty when non-sequential.  ``issued_at``
+        backdates the queue-delay bookkeeping (used when a settled
+        batch re-enqueues requests that analytically arrived earlier).
         """
+        hook = self.settle_hook
+        if hook is not None:
+            hook()
         req = IORequest(
             node=node, kind=kind, offset=offset, nbytes=nbytes,
-            issued_at=self.env.now,
+            issued_at=self.env.now if issued_at is None else issued_at,
         )
         grant = self._channel.request()
         yield grant

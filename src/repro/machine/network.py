@@ -46,6 +46,23 @@ class Network:
         self._gather_overhead: dict = {}
 
     # -- point to point --------------------------------------------------
+    def base_cost(self, src: int, dst: int) -> float:
+        """Payload-independent cost of the ``src -> dst`` route.
+
+        ``latency + hops * per_hop``, memoized per pair.  Hot request
+        paths hoist this once per (server, client) pair and add the
+        payload term themselves instead of re-resolving the route for
+        every piece.
+        """
+        if src == dst:
+            return 0.0
+        base = self._base_cost.get((src, dst))
+        if base is None:
+            cfg = self.config
+            base = cfg.latency + self.mesh.hops(src, dst) * cfg.per_hop
+            self._base_cost[(src, dst)] = base
+        return base
+
     def transfer_time(self, src: int, dst: int, nbytes: int) -> float:
         """Duration of one ``nbytes`` message from ``src`` to ``dst``."""
         if nbytes < 0:
@@ -59,6 +76,31 @@ class Network:
             self._base_cost[(src, dst)] = base
         return base + nbytes / cfg.bandwidth
 
+    def bulk_transfer_times(
+        self, transfers: Sequence[tuple]
+    ) -> list:
+        """Price a vector of ``(src, dst, nbytes)`` transfers analytically.
+
+        Returns one duration per transfer, each computed by exactly the
+        same expression as :meth:`transfer_time` (so a batch price is
+        bit-identical to pricing the messages one at a time).  The model
+        is contention-free, so bulk pricing never needs an event per
+        message — callers post a single completion event per destination
+        at ``now + max(duration)`` when coalescing.
+        """
+        bw = self.config.bandwidth
+        base_of = self.base_cost
+        out = []
+        append = out.append
+        for src, dst, nbytes in transfers:
+            if nbytes < 0:
+                raise MachineError(f"negative message size {nbytes}")
+            if src == dst:
+                append(0.0)
+            else:
+                append(base_of(src, dst) + nbytes / bw)
+        return out
+
     def send(self, src: int, dst: int, nbytes: int) -> Generator:
         """Process step: transmit a message and wait for completion."""
         self.messages += 1
@@ -66,6 +108,16 @@ class Network:
         delay = self.transfer_time(src, dst, nbytes)
         if delay > 0:
             yield self.env.timeout(delay)
+
+    def count_sends(self, n_messages: int, nbytes_total: int) -> None:
+        """Account ``n_messages`` bulk-priced sends in the traffic totals.
+
+        The batched data path prices whole message vectors with
+        :meth:`bulk_transfer_times`; this applies the same bookkeeping
+        :meth:`send` would have done per message.
+        """
+        self.messages += n_messages
+        self.bytes_moved += nbytes_total
 
     # -- collectives -------------------------------------------------------
     def broadcast_time(self, root: int, nbytes: int, nodes: Sequence[int]) -> float:

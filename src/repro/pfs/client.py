@@ -42,8 +42,9 @@ from repro.pfs.collective import CollectiveRegistry
 from repro.pfs.costs import PFSCostModel
 from repro.pfs.file import Extent, SharedFileState
 from repro.pfs.handle import FileHandle
-from repro.pfs.modes import AccessMode, semantics
+from repro.pfs.modes import AccessMode
 from repro.pfs.server import StripeServer
+from repro.sim.events import Event
 from repro.sim.resources import PriorityResource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,6 +109,13 @@ class PFS:
         self.metadata = PriorityResource(env, capacity=1)
         self.registry = CollectiveRegistry(env)
         self._clients: Dict[int, "PFSNodeClient"] = {}
+        #: Batched data path (REPRO_FAST_DATAPATH, default on); None
+        #: means every transfer takes the legacy per-piece path.
+        from repro.pfs.datapath import DataPath, _fast_datapath_default
+
+        self.datapath: Optional[DataPath] = (
+            DataPath(self) if _fast_datapath_default() else None
+        )
 
     def client(self, rank: int) -> "PFSNodeClient":
         """The (cached) client library instance for ``rank``."""
@@ -178,7 +186,7 @@ class PFSNodeClient:
             state, self.rank, buffered=buffered,
             buffer_size=self.pfs.stripe_size,
         )
-        self._trace(IOOp.OPEN, path, start, mode=str(state.mode))
+        self._trace(IOOp.OPEN, path, start, mode=state.mode_str)
         return handle
 
     def gopen(
@@ -230,7 +238,7 @@ class PFSNodeClient:
             state, self.rank, buffered=buffered,
             buffer_size=self.pfs.stripe_size,
         )
-        self._trace(IOOp.GOPEN, path, start, mode=str(state.mode))
+        self._trace(IOOp.GOPEN, path, start, mode=state.mode_str)
         return handle
 
     def setiomode(
@@ -272,7 +280,7 @@ class PFSNodeClient:
         handle.state.remove_opener(self.rank)
         self.pfs.metadata.release(grant)
         handle.mark_closed()
-        self._trace(IOOp.CLOSE, handle.path, start, mode=str(handle.mode))
+        self._trace(IOOp.CLOSE, handle.path, start, mode=handle.state.mode_str)
 
     def flush(self, handle: FileHandle) -> Generator[object, object, None]:
         """Flush client and server buffers for this handle."""
@@ -281,7 +289,7 @@ class PFSNodeClient:
         yield self.env.timeout(self.pfs.costs.flush_service)
         if handle.buffer is not None:
             handle.buffer.invalidate()
-        self._trace(IOOp.FLUSH, handle.path, start, mode=str(handle.mode))
+        self._trace(IOOp.FLUSH, handle.path, start, mode=handle.state.mode_str)
 
     def seek(
         self, handle: FileHandle, offset: int
@@ -304,13 +312,13 @@ class PFSNodeClient:
             state.token.release(grant)
         else:
             yield self.env.timeout(self.pfs.costs.seek_local_service)
-        if handle.uses_shared_pointer:
-            state.shared_offset = offset
-        else:
+        if state.sem.private_pointer:
             handle.offset = offset
+        else:
+            state.shared_offset = offset
         self._trace(
             IOOp.SEEK, handle.path, start, offset=offset,
-            mode=str(state.mode),
+            mode=state.mode_str,
         )
         return offset
 
@@ -322,42 +330,91 @@ class PFSNodeClient:
     ) -> Generator[object, object, List[Extent]]:
         """Read ``nbytes`` at the current pointer; returns the extents
         (write tokens) covering the range, for integrity checking."""
-        handle.require_open()
+        if not handle._open:
+            handle.require_open()
         if nbytes < 0:
             raise PFSError(f"negative read size {nbytes}")
         start = self.env.now
         state = handle.state
         mode = state.mode
-        sem = semantics(mode)
+        mode_str = state.mode_str
+        sem = state.sem
 
         if mode == AccessMode.M_GLOBAL:
             extents = yield from self._global_read(handle, nbytes)
         elif sem.node_ordered:
             extents = yield from self._ordered_read(handle, nbytes)
-        elif mode == AccessMode.M_UNIX and state.is_shared:
-            # Atomicity token: held only for the validation/ordering
-            # round trip; the data transfer proceeds at the stripe
-            # servers afterwards.  Pointer operations (seek) hold the
-            # token much longer, which is what lets seeks dominate
-            # version-B ESCAT while data ops stay comparatively cheap.
-            grant = state.token.request(priority=_DATA_PRIORITY)
-            yield grant
-            yield self.env.timeout(self.pfs.costs.token_data_service)
-            offset = handle.offset
-            handle.offset = offset + nbytes
-            state.token.release(grant)
-            extents = yield from self._client_read(handle, offset, nbytes)
         else:
-            offset = handle.current_offset()
-            if mode == AccessMode.M_LOG:
-                state.shared_offset = offset + nbytes
-            extents = yield from self._client_read(handle, offset, nbytes)
-            if not handle.uses_shared_pointer:
+            if mode == AccessMode.M_UNIX and state.is_shared:
+                # Atomicity token: held only for the validation/ordering
+                # round trip; the data transfer proceeds at the stripe
+                # servers afterwards.  Pointer operations (seek) hold
+                # the token much longer, which is what lets seeks
+                # dominate version-B ESCAT while data ops stay
+                # comparatively cheap.
+                grant = state.token.request(priority=_DATA_PRIORITY)
+                yield grant
+                yield self.env.timeout(self.pfs.costs.token_data_service)
+                offset = handle.offset
                 handle.offset = offset + nbytes
-        self._trace(
-            IOOp.READ, handle.path, start, nbytes=nbytes,
-            offset=handle.current_offset() - nbytes, mode=str(mode),
-        )
+                state.token.release(grant)
+                advance_after = False
+            else:
+                offset = (
+                    handle.offset if sem.private_pointer
+                    else state.shared_offset
+                )
+                if mode == AccessMode.M_LOG:
+                    state.shared_offset = offset + nbytes
+                advance_after = True
+            buffer = handle.buffer
+            if buffer is None:
+                extents = yield from self._direct_read(
+                    handle, offset, nbytes, cached=handle.server_cached
+                )
+            else:
+                # Inlined _client_read: the buffer-hit loop is the most
+                # frequent operation in every application, and a
+                # delegation frame here is re-entered on every resume.
+                env = self.env
+                hit_service = self.pfs.costs.buffer_hit_service
+                extents = []
+                pos = offset
+                rend = offset + nbytes
+                while pos < rend:
+                    bstart = buffer._start
+                    if (
+                        bstart is not None
+                        and buffer._generation == state._next_token
+                        and bstart <= pos < buffer._end
+                    ):
+                        take = min(rend, buffer._end) - pos
+                        yield env.timeout(hit_service)
+                        extents.extend(buffer.serve(pos, take))
+                    else:
+                        fetch_start, fetch_len = buffer.fetch_range(pos)
+                        fext = yield from self._direct_read(
+                            handle, fetch_start, fetch_len, cached=True
+                        )
+                        buffer.install(fetch_start, fetch_len, fext)
+                        take = min(rend, fetch_start + fetch_len) - pos
+                        if take <= 0:  # pragma: no cover - defensive
+                            raise PFSError("buffer fetch made no progress")
+                        extents.extend(buffer.serve(pos, take))
+                    pos += take
+            if advance_after and state.sem.private_pointer:
+                handle.offset = offset + nbytes
+        tracer = self.pfs.tracer
+        if tracer is not None:
+            tracer.record_fields(
+                self.rank, IOOp.READ, handle.path, start,
+                self.env.now - start, nbytes,
+                (
+                    handle.offset if state.sem.private_pointer
+                    else state.shared_offset
+                ) - nbytes,
+                mode_str, self.phase,
+            )
         return extents
 
     def write(
@@ -365,13 +422,15 @@ class PFSNodeClient:
     ) -> Generator[object, object, int]:
         """Write ``nbytes`` at the current pointer; returns the write
         token recorded in the file's extent map."""
-        handle.require_open()
+        if not handle._open:
+            handle.require_open()
         if nbytes < 0:
             raise PFSError(f"negative write size {nbytes}")
         start = self.env.now
         state = handle.state
         mode = state.mode
-        sem = semantics(mode)
+        mode_str = state.mode_str
+        sem = state.sem
         token = state.new_token(self.rank)
 
         if mode == AccessMode.M_GLOBAL:
@@ -393,20 +452,29 @@ class PFSNodeClient:
             )
             state.record_write(offset, nbytes, token)
         else:
-            offset = handle.current_offset()
-            if handle.uses_shared_pointer:
+            if sem.private_pointer:
+                offset = handle.offset
+            else:
+                offset = state.shared_offset
                 state.shared_offset = offset + nbytes
             policy = (
                 "write_through" if mode == AccessMode.M_UNIX else "write_behind"
             )
             yield from self._data_path(handle, offset, nbytes, kind=policy)
             state.record_write(offset, nbytes, token)
-            if not handle.uses_shared_pointer:
+            if state.sem.private_pointer:
                 handle.offset = offset + nbytes
-        self._trace(
-            IOOp.WRITE, handle.path, start, nbytes=nbytes,
-            offset=handle.current_offset() - nbytes, mode=str(mode),
-        )
+        tracer = self.pfs.tracer
+        if tracer is not None:
+            tracer.record_fields(
+                self.rank, IOOp.WRITE, handle.path, start,
+                self.env.now - start, nbytes,
+                (
+                    handle.offset if state.sem.private_pointer
+                    else state.shared_offset
+                ) - nbytes,
+                mode_str, self.phase,
+            )
         return token
 
     def pread(
@@ -431,7 +499,7 @@ class PFSNodeClient:
         extents = yield from self._client_read(handle, offset, nbytes)
         self._trace(
             IOOp.READ, handle.path, start, nbytes=nbytes, offset=offset,
-            mode=str(state.mode),
+            mode=state.mode_str,
         )
         return extents
 
@@ -461,7 +529,7 @@ class PFSNodeClient:
         state.record_write(offset, nbytes, token)
         self._trace(
             IOOp.WRITE, handle.path, start, nbytes=nbytes, offset=offset,
-            mode=str(state.mode),
+            mode=state.mode_str,
         )
         return token
 
@@ -603,13 +671,22 @@ class PFSNodeClient:
                 )
             )
         buffer = handle.buffer
+        env = self.env
+        state = handle.state
+        hit_service = self.pfs.costs.buffer_hit_service
         out: List[Extent] = []
         pos = offset
         end = offset + nbytes
         while pos < end:
-            if buffer.covers(pos, 1):
+            # Inlined ReadBuffer.covers: validity + range check.
+            bstart = buffer._start
+            if (
+                bstart is not None
+                and buffer._generation == state._next_token
+                and bstart <= pos < buffer._end
+            ):
                 take = min(end, buffer._end) - pos
-                yield self.env.timeout(self.pfs.costs.buffer_hit_service)
+                yield env.timeout(hit_service)
                 out.extend(buffer.serve(pos, take))
             else:
                 fetch_start, fetch_len = buffer.fetch_range(pos)
@@ -648,6 +725,28 @@ class PFSNodeClient:
         """
         if cached is None:
             cached = handle.server_cached
+        datapath = self.pfs.datapath
+        if datapath is not None:
+            # Inlined DataPath.transfer (one generator frame fewer on
+            # every transfer): schedule the request arrival at the
+            # servers after the client-side overhead and wake on the
+            # single completion event the launch plan resolves.
+            env = self.env
+            if nbytes == 0:
+                yield env.timeout(datapath.client_overhead)
+                return
+            if kind == "write_behind" and not cached:
+                kind = "write_through"
+            state = handle.state
+            done = Event(env)
+            arrival = env.at(env.now + datapath.client_overhead)
+            arrival.callbacks.append(
+                lambda _ev: datapath._launch(
+                    self, state, offset, nbytes, kind, cached, done
+                )
+            )
+            yield done
+            return
         yield self.env.timeout(self.pfs.costs.client_overhead)
         if nbytes == 0:
             return

@@ -1,0 +1,892 @@
+"""Batched PFS data path: analytic fast-forward of uncontended I/O.
+
+The legacy data path turns every client request into one simulation
+process per stripe piece, each stepping through network timeouts,
+server queue grants, and disk-service timeouts — a dozen events per
+piece.  At paper scale that per-piece event storm dominates the run.
+
+This module collapses it.  A client request is decomposed into
+per-server piece groups in one pass (vectorized for large requests);
+for each target server whose queues are *idle*, the whole group is
+priced analytically — network arrival instants, disk seek/transfer
+chain, cache hits, write-behind acks and drains — using exactly the
+same float expressions, in exactly the same order, as the event-stepped
+path.  The plan becomes a :class:`FastSpan`: one absolute-time event
+resumes the client at the planned completion instant, and the span's
+side effects (disk head state, counters, cache inserts) are applied
+lazily, in timestamp order, so external observers never see the future.
+
+Correctness under contention comes from *revocation*, not prediction:
+any event-stepped entry into a spanned server (another client's piece,
+a policy probe, a drain) first calls ``server.settle()``, which applies
+the span's effects up to the current instant and reconstitutes every
+unfinished piece as real queue state — granted holders, queued
+requests, and pending arrivals — before the foreign operation proceeds.
+The net effect is byte-identical traces with events proportional to
+*contended* I/O only.  ``REPRO_FAST_DATAPATH=0`` disables the whole
+path, keeping the legacy per-piece code as a determinism cross-check
+(the same pattern as ``REPRO_FAST_CORE``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Generator, List
+
+from repro.machine.disk import RAID3Array
+from repro.pfs.striping import StripePiece
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pfs.client import PFS, PFSNodeClient
+    from repro.pfs.file import SharedFileState
+    from repro.pfs.server import StripeServer
+
+#: Below this piece count, scalar decomposition beats array setup.
+_VECTOR_MIN_PIECES = 64
+
+#: Effect opcodes (see FastSpan._apply_one).
+_E_WCNT = 0      # write arrived at server: writes/bytes counters
+_E_DISK = 1      # disk service start: commit planned head state
+_E_RDONE = 2     # read-miss completion: ionode counters, insert, net
+_E_HDONE = 3     # read-hit completion: net send counters
+_E_WDONE = 4     # write-through completion: ionode counters, insert
+_E_ACK = 5       # write-behind ack: dirty insert
+_E_DRAIN = 6     # write-behind drain done: ionode counters, mark clean
+
+
+def _fast_datapath_default() -> bool:
+    return os.environ.get("REPRO_FAST_DATAPATH", "1") != "0"
+
+
+def _effect_time(effect) -> float:
+    return effect[0]
+
+
+class DataPath:
+    """Per-PFS orchestrator routing client transfers through spans."""
+
+    def __init__(self, pfs: "PFS") -> None:
+        self.pfs = pfs
+        self.env = pfs.env
+        self.costs = pfs.costs
+        self.net = pfs.machine.network
+        #: Hot-path constants (the cost model is validated and fixed at
+        #: PFS construction).
+        self.client_overhead = self.costs.client_overhead
+        self.bw = self.net.config.bandwidth
+        self.chs = self.costs.cache_hit_service
+        self.was = self.costs.write_ack_service
+        self.ccr = self.costs.cache_copy_rate
+        #: Counters for the perf report.
+        self.spans = 0
+        self.span_pieces = 0
+        self.fallback_pieces = 0
+        self.revocations = 0
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        client: "PFSNodeClient",
+        state: "SharedFileState",
+        offset: int,
+        nbytes: int,
+        kind: str,
+        cached: bool,
+    ) -> Generator:
+        """Drop-in replacement for the client's legacy ``_data_path``.
+
+        The client yields exactly one event.  The request "arrives" at
+        the stripe servers ``client_overhead`` later — at that instant a
+        scheduled *callback* (no generator resume) settles the targets,
+        plans spans or spawns fallback pieces, and arranges for the
+        completion event to fire at the right time.
+        """
+        env = self.env
+        if nbytes == 0:
+            yield env.timeout(self.client_overhead)
+            return
+        if kind == "write_behind" and not cached:
+            # The server degrades uncached write-behind to write-through.
+            kind = "write_through"
+        done = Event(env)
+        arrival = env.at(env.now + self.client_overhead)
+        arrival.callbacks.append(
+            lambda _ev: self._launch(
+                client, state, offset, nbytes, kind, cached, done
+            )
+        )
+        yield done
+
+    def _launch(
+        self,
+        client: "PFSNodeClient",
+        state: "SharedFileState",
+        offset: int,
+        nbytes: int,
+        kind: str,
+        cached: bool,
+        done: Event,
+    ) -> None:
+        """Plan the transfer at its arrival instant (runs as a callback)."""
+        if not state.sem.private_pointer:
+            # Shared-pointer modes (M_SYNC, M_LOG, M_GLOBAL) trace the
+            # *post-op* shared offset, so the order in which a client
+            # resume interleaves with other ranks' pointer advances at a
+            # tied timestamp is observable.  A span's completion event
+            # is inserted at plan time — much earlier in the timestamp's
+            # FIFO bucket than the legacy chain's final event — which
+            # shifts that order.  Keep these modes fully event-stepped.
+            self._launch_stepped(client, state, offset, nbytes, kind,
+                                 cached, done)
+            return
+        layout = state.layout
+        ss = layout.stripe_size
+        n_io = layout.n_io_nodes
+        base = layout.disk_base
+        first = offset // ss
+        end = offset + nbytes
+        last = (end - 1) // ss
+        k = last - first + 1
+        env = self.env
+
+        if k == 1:
+            srv = first % n_io
+            doff = base + (first // n_io) * ss + (offset - first * ss)
+            server = self.pfs.servers[srv]
+            server.settle()
+            if self._eligible(server, kind, 1):
+                FastSpan(
+                    self, client, server, state.file_id,
+                    (doff,), (nbytes,), kind, cached, done,
+                )
+                self.spans += 1
+                self.span_pieces += 1
+            else:
+                self.fallback_pieces += 1
+                piece = StripePiece(srv, doff, offset, nbytes)
+                env.process(
+                    self._fallback_piece(
+                        client, piece, state, kind, cached, done
+                    ),
+                    name=f"{kind}-piece",
+                )
+            return
+
+        # -- decompose into parallel piece lists, file order ------------
+        if k < _VECTOR_MIN_PIECES:
+            ios = []
+            doffs = []
+            foffs = []
+            ns = []
+            for stripe in range(first, last + 1):
+                start = stripe * ss
+                foff = offset if offset > start else start
+                pend = end if end < start + ss else start + ss
+                ios.append(stripe % n_io)
+                doffs.append(base + (stripe // n_io) * ss + (foff - start))
+                foffs.append(foff)
+                ns.append(pend - foff)
+        else:
+            io_a, doff_a, foff_a, n_a = layout.pieces_arrays(offset, nbytes)
+            ios = io_a.tolist()
+            doffs = doff_a.tolist()
+            foffs = foff_a.tolist()
+            ns = n_a.tolist()
+
+        # -- group per server (round-robin => strided slices) ------------
+        if n_io == 1:
+            groups = [(ios[0], doffs, foffs, ns)]
+        else:
+            groups = []
+            for r in range(n_io if n_io < k else k):
+                srv = (first + r) % n_io
+                groups.append(
+                    (srv, doffs[r::n_io], foffs[r::n_io], ns[r::n_io])
+                )
+
+        servers = self.pfs.servers
+        waits: List[object] = []
+        for srv, g_doffs, g_foffs, g_ns in groups:
+            server = servers[srv]
+            server.settle()
+            if self._eligible(server, kind, len(g_ns)):
+                span = FastSpan(
+                    self, client, server, state.file_id,
+                    g_doffs, g_ns, kind, cached,
+                )
+                waits.append(span.client_event)
+                self.spans += 1
+                self.span_pieces += len(g_ns)
+            else:
+                self.fallback_pieces += len(g_ns)
+                for doff, foff, n in zip(g_doffs, g_foffs, g_ns):
+                    piece = StripePiece(srv, doff, foff, n)
+                    waits.append(
+                        env.process(
+                            client._piece_io(
+                                piece, state, kind, cached, self.net
+                            ),
+                            name=f"{kind}-piece",
+                        )
+                    )
+        gate = env.all_of(waits)
+        gate.callbacks.append(lambda _ev: done.succeed())
+
+    def _launch_stepped(
+        self, client, state, offset, nbytes, kind, cached, done: Event
+    ) -> None:
+        """Fully event-stepped launch: the legacy per-piece processes,
+        in legacy decomposition order, chained to ``done``."""
+        env = self.env
+        pieces = state.layout.pieces(offset, nbytes)
+        self.fallback_pieces += len(pieces)
+        if len(pieces) == 1:
+            env.process(
+                self._fallback_piece(
+                    client, pieces[0], state, kind, cached, done
+                ),
+                name=f"{kind}-piece",
+            )
+            return
+        procs = [
+            env.process(
+                client._piece_io(p, state, kind, cached, self.net),
+                name=f"{kind}-piece",
+            )
+            for p in pieces
+        ]
+        gate = env.all_of(procs)
+        gate.callbacks.append(lambda _ev: done.succeed())
+
+    def _fallback_piece(
+        self, client, piece, state, kind, cached, done: Event
+    ) -> Generator:
+        """Event-stepped single-piece transfer, chained to ``done``."""
+        yield from client._piece_io(piece, state, kind, cached, self.net)
+        done.succeed()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _eligible(server: "StripeServer", kind: str, k: int) -> bool:
+        """Whether ``server`` can be fast-forwarded analytically.
+
+        Every queue the span would model must be empty and unmonitored;
+        a busy resource or an attached monitor means timings (or
+        samples) depend on event interleaving the plan cannot replay.
+        """
+        ch = server.ionode._channel
+        if ch.users or ch.queue or ch.monitor is not None:
+            return False
+        cpu = server._cpu
+        if cpu.users or cpu.queue or cpu.monitor is not None:
+            return False
+        wb = server._wb_slots
+        if wb.users or wb.queue or wb.monitor is not None:
+            return False
+        if kind == "write_behind" and k > wb.capacity:
+            return False
+        return type(server.ionode.disk) is RAID3Array
+
+
+class FastSpan:
+    """One analytically fast-forwarded piece batch on one server.
+
+    Construction *plans* the batch: it prices every stage with the
+    exact legacy expressions, posts two absolute-time events (client
+    completion and final-effect resolution), and stores an ordered
+    effect list plus per-piece timelines for possible revocation.
+    """
+
+    __slots__ = (
+        "dp", "env", "server", "kind", "cached", "t0", "cp", "ip",
+        "client_event", "revoked", "effects", "cursor",
+        "hits", "misses", "items", "pending",
+    )
+
+    def __init__(
+        self,
+        dp: DataPath,
+        client: "PFSNodeClient",
+        server: "StripeServer",
+        file_id: int,
+        doffs,
+        ns,
+        kind: str,
+        cached: bool,
+        client_event: Event = None,
+    ) -> None:
+        env = dp.env
+        self.dp = dp
+        self.env = env
+        self.server = server
+        self.kind = kind
+        self.cached = cached
+        self.t0 = t0 = env.now
+        self.client_event = (
+            client_event if client_event is not None else Event(env)
+        )
+        self.revoked = False
+        self.cursor = 0
+        self.hits: list = []
+        self.misses: list = []
+        self.items: list = []
+        self.pending = 0
+
+        net = dp.net
+        self.cp = cp = client.mesh_position
+        self.ip = ip = server.ionode.mesh_position
+        bw = dp.bw
+        disk = server.ionode.disk
+        const = server._dp_const
+        if const is None or const[0] is not disk:
+            dcfg = disk.config
+            const = (
+                disk,
+                dcfg.sequential_overhead,
+                dcfg.positioning,
+                dcfg.write_rmw_penalty * dcfg.positioning,
+                dcfg.request_overhead,
+                dcfg.transfer_rate,
+            )
+            server._dp_const = const
+        _, seq_overhead, positioning, rmw_extra, req_overhead, rate = const
+        next_off = disk._next_offset
+        ss = server.stripe_size
+        effects: list = []
+        eff = effects.append
+        k = len(ns)
+
+        if kind == "read":
+            server.reads += k
+            server.bytes_read += ns[0] if k == 1 else sum(ns)
+            back_base = net.base_cost(ip, cp)
+            cache = server.cache
+            lookup = cache.lookup
+            chs = dp.chs
+            cpu_t = t0
+            ch_t = t0
+            t_client = t0
+            resolve_t = t0
+            for j in range(k):
+                doff = doffs[j]
+                n = ns[j]
+                key = (file_id, doff // ss) if cached else None
+                d = 0.0 if ip == cp else back_base + n / bw
+                if key is not None and lookup(key):
+                    u_g = cpu_t
+                    u_c = u_g + chs
+                    done = u_c + d
+                    eff((u_c, _E_HDONE, n))
+                    self.hits.append((u_g, u_c, done, n, d))
+                    cpu_t = u_c
+                    if u_c > resolve_t:
+                        resolve_t = u_c
+                else:
+                    if next_off is not None and doff == next_off:
+                        position = seq_overhead
+                    else:
+                        position = positioning
+                    dur = req_overhead + position + n / rate
+                    g = ch_t
+                    c = g + dur
+                    done = c + d
+                    next_off = doff + n
+                    eff((g, _E_DISK, doff, n, dur))
+                    eff((c, _E_RDONE, t0, g, n, key))
+                    self.misses.append((g, c, done, n, doff, key, d))
+                    ch_t = c
+                    if c > resolve_t:
+                        resolve_t = c
+                if done > t_client:
+                    t_client = done
+        elif kind == "write_through":
+            net.count_sends(k, ns[0] if k == 1 else sum(ns))
+            out_base = net.base_cost(cp, ip)
+            arrive = [
+                t0 + (0.0 if cp == ip else out_base + ns[j] / bw)
+                for j in range(k)
+            ]
+            if k == 1:
+                order = (0,)
+            else:
+                order = sorted(range(k), key=arrive.__getitem__)
+            ch_t = t0
+            for j in order:
+                doff = doffs[j]
+                n = ns[j]
+                a = arrive[j]
+                key = (file_id, doff // ss) if cached else None
+                if next_off is not None and doff == next_off:
+                    position = seq_overhead
+                else:
+                    position = positioning
+                    if n < ss:
+                        position += rmw_extra
+                dur = req_overhead + position + n / rate
+                g = a if a > ch_t else ch_t
+                c = g + dur
+                next_off = doff + n
+                eff((a, _E_WCNT, n))
+                eff((g, _E_DISK, doff, n, dur))
+                eff((c, _E_WDONE, a, g, key))
+                self.items.append((a, g, c, n, doff, key))
+                ch_t = c
+            t_client = resolve_t = ch_t
+        else:  # write_behind (cached — uncached was normalized away)
+            net.count_sends(k, ns[0] if k == 1 else sum(ns))
+            out_base = net.base_cost(cp, ip)
+            was = dp.was
+            ccr = dp.ccr
+            arrive = [
+                t0 + (0.0 if cp == ip else out_base + ns[j] / bw)
+                for j in range(k)
+            ]
+            if k == 1:
+                order = (0,)
+            else:
+                order = sorted(range(k), key=arrive.__getitem__)
+            cpu_t = t0
+            acks = []
+            for j in order:
+                n = ns[j]
+                a = arrive[j]
+                ack_dur = was + n / ccr
+                cg = a if a > cpu_t else cpu_t
+                cc = cg + ack_dur
+                key = (file_id, doffs[j] // ss)
+                eff((a, _E_WCNT, n))
+                eff((cc, _E_ACK, key))
+                acks.append((j, a, cg, cc, key, ack_dur))
+                cpu_t = cc
+            t_client = cpu_t
+            ch_t = t0
+            for j, a, cg, cc, key, ack_dur in acks:
+                doff = doffs[j]
+                n = ns[j]
+                if next_off is not None and doff == next_off:
+                    position = seq_overhead
+                else:
+                    position = positioning
+                    if n < ss:
+                        position += rmw_extra
+                dur = req_overhead + position + n / rate
+                dg = cc if cc > ch_t else ch_t
+                dc = dg + dur
+                next_off = doff + n
+                eff((dg, _E_DISK, doff, n, dur))
+                eff((dc, _E_DRAIN, cc, dg, key))
+                self.items.append(
+                    (a, cg, cc, dg, dc, n, doff, key, ack_dur)
+                )
+                ch_t = dc
+            resolve_t = ch_t
+
+        if k > 1:
+            # Single-piece effect streams are emitted in time order
+            # already; multi-piece streams interleave and need the
+            # (stable) sort.
+            effects.sort(key=_effect_time)
+        self.effects = effects
+        server.span = self
+        if kind == "write_behind":
+            # Drains outlast the ack the client waits on: post a
+            # separate resolve event.  Resolve before the client
+            # trigger so same-bucket final effects (and the span's
+            # clearing) precede the client's resumption, matching the
+            # legacy completion order.
+            resolve = env.at(resolve_t)
+            resolve.callbacks.append(self._resolve)
+            trigger = env.at(t_client)
+            trigger.callbacks.append(self._client_trigger)
+        else:
+            # Reads and write-through finish all server-side effects at
+            # or before the client-visible completion: one event both
+            # resolves and resumes (effects applied first, then the
+            # client's urgent wakeup — same order the two events gave).
+            trigger = env.at(t_client)
+            trigger.callbacks.append(self._finish)
+
+    # -- natural completion ---------------------------------------------
+    def _resolve(self, _ev) -> None:
+        if self.revoked:
+            return
+        effects = self.effects
+        for i in range(self.cursor, len(effects)):
+            self._apply_one(effects[i])
+        self.cursor = len(effects)
+        if self.server.span is self:
+            self.server.span = None
+
+    def _client_trigger(self, _ev) -> None:
+        if self.revoked:
+            return
+        ev = self.client_event
+        if not ev.triggered:
+            ev.succeed()
+
+    def _finish(self, _ev) -> None:
+        """Combined resolve + client trigger (read / write-through)."""
+        if self.revoked:
+            return
+        effects = self.effects
+        for i in range(self.cursor, len(effects)):
+            self._apply_one(effects[i])
+        self.cursor = len(effects)
+        server = self.server
+        if server.span is self:
+            server.span = None
+        ev = self.client_event
+        if not ev.triggered:
+            ev.succeed()
+
+    # -- lazy effect application ----------------------------------------
+    def _apply_one(self, e) -> None:
+        code = e[1]
+        server = self.server
+        if code == _E_DISK:
+            server.ionode.disk.commit_planned(e[2], e[3], e[4])
+        elif code == _E_RDONE:
+            ion = server.ionode
+            ion.completed += 1
+            ion.total_queue_delay += e[3] - e[2]
+            ion.total_service += e[0] - e[3]
+            if e[5] is not None:
+                server.cache.insert(e[5], dirty=False)
+            net = self.dp.net
+            net.messages += 1
+            net.bytes_moved += e[4]
+        elif code == _E_HDONE:
+            net = self.dp.net
+            net.messages += 1
+            net.bytes_moved += e[2]
+        elif code == _E_WCNT:
+            server.writes += 1
+            server.bytes_written += e[2]
+        elif code == _E_WDONE:
+            ion = server.ionode
+            ion.completed += 1
+            ion.total_queue_delay += e[3] - e[2]
+            ion.total_service += e[0] - e[3]
+            if e[4] is not None:
+                server.cache.insert(e[4], dirty=False)
+        elif code == _E_ACK:
+            server.cache.insert(e[2], dirty=True)
+        else:  # _E_DRAIN
+            ion = server.ionode
+            ion.completed += 1
+            ion.total_queue_delay += e[3] - e[2]
+            ion.total_service += e[0] - e[3]
+            server.cache.mark_clean(e[4])
+
+    # -- revocation ------------------------------------------------------
+    def revoke(self) -> None:
+        """Fold the span back into real, event-stepped queue state.
+
+        Applies every effect due at or before *now*, then rebuilds each
+        unfinished piece as the real resource state the legacy path
+        would have at this instant: granted holders finishing at their
+        planned times, queued requests in arrival order, and processes
+        waiting for arrivals still in flight.  After this returns, the
+        server is indistinguishable from one that never had a span.
+        """
+        env = self.env
+        tau = env.now
+        self.dp.revocations += 1
+        effects = self.effects
+        i = self.cursor
+        n_eff = len(effects)
+        while i < n_eff and effects[i][0] <= tau:
+            self._apply_one(effects[i])
+            i += 1
+        self.cursor = i
+        self.revoked = True
+        server = self.server
+        if server.span is self:
+            server.span = None
+        kind = self.kind
+        if kind == "read":
+            self._revoke_read(tau)
+        elif kind == "write_through":
+            self._revoke_wt(tau)
+        else:
+            self._revoke_wb(tau)
+        if self.pending == 0 and not self.client_event.triggered:
+            self.client_event.succeed()
+
+    def _done_one(self, _ev=None) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            ev = self.client_event
+            if not ev.triggered:
+                ev.succeed()
+
+    # -- read reconstitution --------------------------------------------
+    def _revoke_read(self, tau: float) -> None:
+        env = self.env
+        server = self.server
+        cpu = server._cpu
+        channel = server.ionode._channel
+        for u_g, u_c, done, n, d in self.hits:
+            if u_c <= tau:
+                if done > tau:
+                    self.pending += 1
+                    waiter = env.at(done)
+                    waiter.callbacks.append(self._done_one)
+            elif u_g <= tau:
+                req = cpu.request()
+                self.pending += 1
+                env.process(self._recon_hit_hold(req, u_c, done, n))
+            else:
+                req = cpu.request()
+                self.pending += 1
+                env.process(self._recon_hit_queued(req, n, d))
+        for g, c, done, n, doff, key, d in self.misses:
+            if c <= tau:
+                if done > tau:
+                    self.pending += 1
+                    waiter = env.at(done)
+                    waiter.callbacks.append(self._done_one)
+            elif g <= tau:
+                req = channel.request()
+                self.pending += 1
+                env.process(self._recon_miss_hold(req, g, c, done, n, key))
+            else:
+                req = channel.request()
+                self.pending += 1
+                env.process(self._recon_miss_queued(req, n, doff, key))
+
+    def _recon_hit_hold(self, req, u_c, done, n) -> Generator:
+        env = self.env
+        yield req
+        yield env.at(u_c)
+        self.server._cpu.release(req)
+        net = self.dp.net
+        net.messages += 1
+        net.bytes_moved += n
+        if done > u_c:
+            yield env.at(done)
+        self._done_one()
+
+    def _recon_hit_queued(self, req, n, d) -> Generator:
+        env = self.env
+        yield req
+        yield env.timeout(self.dp.costs.cache_hit_service)
+        self.server._cpu.release(req)
+        net = self.dp.net
+        net.messages += 1
+        net.bytes_moved += n
+        if d > 0:
+            yield env.timeout(d)
+        self._done_one()
+
+    def _recon_miss_hold(self, req, g, c, done, n, key) -> Generator:
+        env = self.env
+        server = self.server
+        yield req
+        yield env.at(c)
+        ion = server.ionode
+        ion._channel.release(req)
+        ion.completed += 1
+        ion.total_queue_delay += g - self.t0
+        ion.total_service += c - g
+        if key is not None:
+            server.cache.insert(key, dirty=False)
+        net = self.dp.net
+        net.messages += 1
+        net.bytes_moved += n
+        if done > c:
+            yield env.at(done)
+        self._done_one()
+
+    def _recon_miss_queued(self, req, n, doff, key) -> Generator:
+        env = self.env
+        server = self.server
+        ion = server.ionode
+        yield req
+        g = env.now
+        service = ion.disk.service_time(doff, n)
+        yield env.timeout(service)
+        ion._channel.release(req)
+        ion.completed += 1
+        ion.total_queue_delay += g - self.t0
+        ion.total_service += env.now - g
+        if key is not None:
+            server.cache.insert(key, dirty=False)
+        yield from self.dp.net.send(self.ip, self.cp, n)
+        self._done_one()
+
+    # -- write-through reconstitution -----------------------------------
+    def _revoke_wt(self, tau: float) -> None:
+        env = self.env
+        channel = self.server.ionode._channel
+        for a, g, c, n, doff, key in self.items:
+            if c <= tau:
+                continue
+            self.pending += 1
+            if g <= tau:
+                req = channel.request()
+                env.process(self._recon_wt_hold(req, a, g, c, key))
+            elif a <= tau:
+                req = channel.request()
+                env.process(self._recon_wt_queued(req, a, n, doff, key))
+            else:
+                env.process(self._recon_wt_future(a, n, doff, key))
+
+    def _recon_wt_hold(self, req, a, g, c, key) -> Generator:
+        env = self.env
+        server = self.server
+        yield req
+        yield env.at(c)
+        ion = server.ionode
+        ion._channel.release(req)
+        ion.completed += 1
+        ion.total_queue_delay += g - a
+        ion.total_service += c - g
+        if key is not None:
+            server.cache.insert(key, dirty=False)
+        self._done_one()
+
+    def _recon_wt_queued(self, req, a, n, doff, key) -> Generator:
+        env = self.env
+        server = self.server
+        ion = server.ionode
+        yield req
+        g = env.now
+        service = ion.disk.service_time(
+            doff, n, rmw=n < server.stripe_size
+        )
+        yield env.timeout(service)
+        ion._channel.release(req)
+        ion.completed += 1
+        ion.total_queue_delay += g - a
+        ion.total_service += env.now - g
+        if key is not None:
+            server.cache.insert(key, dirty=False)
+        self._done_one()
+
+    def _recon_wt_future(self, a, n, doff, key) -> Generator:
+        env = self.env
+        server = self.server
+        yield env.at(a)
+        server.settle()
+        server.writes += 1
+        server.bytes_written += n
+        req = server.ionode._channel.request()
+        yield from self._recon_wt_queued(req, a, n, doff, key)
+
+    # -- write-behind reconstitution ------------------------------------
+    def _revoke_wb(self, tau: float) -> None:
+        env = self.env
+        server = self.server
+        cpu = server._cpu
+        channel = server.ionode._channel
+        slots = server._wb_slots
+        for a, cg, cc, dg, dc, n, doff, key, ack_dur in self.items:
+            if dc <= tau:
+                continue
+            if cc <= tau:
+                # Acked (client done); only the drain is outstanding.
+                sreq = slots.request()
+                creq = channel.request()
+                if dg <= tau:
+                    env.process(
+                        self._recon_drain_hold(creq, cc, dg, dc, key, sreq)
+                    )
+                else:
+                    env.process(
+                        self._recon_drain_queued(creq, cc, n, doff, key, sreq)
+                    )
+            elif cg <= tau:
+                sreq = slots.request()
+                preq = cpu.request()
+                self.pending += 1
+                env.process(self._recon_ack_hold(preq, cc, n, doff, key, sreq))
+            elif a <= tau:
+                sreq = slots.request()
+                preq = cpu.request()
+                self.pending += 1
+                env.process(
+                    self._recon_ack_queued(preq, n, doff, key, ack_dur, sreq)
+                )
+            else:
+                self.pending += 1
+                env.process(
+                    self._recon_wb_future(a, n, doff, key, ack_dur)
+                )
+
+    def _recon_drain_hold(self, creq, cc, dg, dc, key, sreq) -> Generator:
+        env = self.env
+        server = self.server
+        yield creq
+        yield env.at(dc)
+        ion = server.ionode
+        ion._channel.release(creq)
+        ion.completed += 1
+        ion.total_queue_delay += dg - cc
+        ion.total_service += dc - dg
+        server.cache.mark_clean(key)
+        server._wb_slots.release(sreq)
+
+    def _recon_drain_queued(self, creq, issued, n, doff, key, sreq) -> Generator:
+        env = self.env
+        server = self.server
+        ion = server.ionode
+        yield creq
+        g = env.now
+        service = ion.disk.service_time(
+            doff, n, rmw=n < server.stripe_size
+        )
+        yield env.timeout(service)
+        ion._channel.release(creq)
+        ion.completed += 1
+        ion.total_queue_delay += g - issued
+        ion.total_service += env.now - g
+        server.cache.mark_clean(key)
+        server._wb_slots.release(sreq)
+
+    def _recon_drain_fresh(self, issued, n, doff, key, sreq) -> Generator:
+        # Mirrors the legacy _drain: the channel request happens at the
+        # process's Initialize, going through settle like a real submit.
+        server = self.server
+        server.settle()
+        creq = server.ionode._channel.request()
+        yield from self._recon_drain_queued(creq, issued, n, doff, key, sreq)
+
+    def _recon_ack_hold(self, preq, cc, n, doff, key, sreq) -> Generator:
+        env = self.env
+        server = self.server
+        yield preq
+        yield env.at(cc)
+        server._cpu.release(preq)
+        server.cache.insert(key, dirty=True)
+        env.process(
+            self._recon_drain_fresh(cc, n, doff, key, sreq), name="wb-drain"
+        )
+        self._done_one()
+
+    def _recon_ack_queued(self, preq, n, doff, key, ack_dur, sreq) -> Generator:
+        env = self.env
+        server = self.server
+        yield preq
+        yield env.timeout(ack_dur)
+        server._cpu.release(preq)
+        server.cache.insert(key, dirty=True)
+        env.process(
+            self._recon_drain_fresh(env.now, n, doff, key, sreq),
+            name="wb-drain",
+        )
+        self._done_one()
+
+    def _recon_wb_future(self, a, n, doff, key, ack_dur) -> Generator:
+        env = self.env
+        server = self.server
+        yield env.at(a)
+        server.settle()
+        server.writes += 1
+        server.bytes_written += n
+        sreq = server._wb_slots.request()
+        yield sreq
+        preq = server._cpu.request()
+        yield from self._recon_ack_queued(preq, n, doff, key, ack_dur, sreq)
+

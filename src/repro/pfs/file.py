@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import PFSError
-from repro.pfs.modes import AccessMode
+from repro.pfs.modes import AccessMode, semantics
 from repro.pfs.striping import StripeLayout
 from repro.sim.resources import PriorityResource
 from repro.sim.sync import TurnTaker
@@ -181,6 +181,11 @@ class SharedFileState:
         self.extents = ExtentMap()
         self.size = 0
         self.mode = AccessMode.M_UNIX
+        #: Hot-path caches: the mode's semantics and display string are
+        #: looked up on every read/write/trace, so they are refreshed
+        #: only when the mode actually changes (set_mode / last close).
+        self.sem = semantics(AccessMode.M_UNIX)
+        self.mode_str = str(AccessMode.M_UNIX)
         #: rank -> open count (a rank may open a file more than once).
         self.openers: Dict[int, int] = {}
         #: Atomicity token serializing M_UNIX operations when shared.
@@ -220,6 +225,8 @@ class SharedFileState:
             # Last close: the access mode does not outlive the open
             # session.  The next opener starts from the M_UNIX default.
             self.mode = AccessMode.M_UNIX
+            self.sem = semantics(AccessMode.M_UNIX)
+            self.mode_str = str(AccessMode.M_UNIX)
             self.group = []
             self.turn = None
             self.record_size = None
@@ -238,12 +245,12 @@ class SharedFileState:
     def set_mode(self, mode: AccessMode) -> None:
         """Install ``mode`` and rebuild the group coordination state."""
         self.mode = mode
+        self.sem = semantics(mode)
+        self.mode_str = str(mode)
         self.mode_generation += 1
         self.group = sorted(self.openers)
         self.record_size = None
-        from repro.pfs.modes import semantics
-
-        if semantics(mode).node_ordered and self.group:
+        if self.sem.node_ordered and self.group:
             self.turn = TurnTaker(self.env, parties=len(self.group))
         else:
             self.turn = None

@@ -7,7 +7,7 @@ from typing import Optional
 from repro.errors import FileNotOpenError, PFSError
 from repro.pfs.buffering import ReadBuffer
 from repro.pfs.file import SharedFileState
-from repro.pfs.modes import AccessMode, semantics
+from repro.pfs.modes import AccessMode
 
 
 class FileHandle:
@@ -65,7 +65,7 @@ class FileHandle:
 
     @property
     def uses_shared_pointer(self) -> bool:
-        return not semantics(self.state.mode).private_pointer
+        return not self.state.sem.private_pointer
 
     def require_open(self) -> None:
         if not self._open:

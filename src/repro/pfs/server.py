@@ -57,6 +57,22 @@ class StripeServer:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Active batched-datapath span (see repro.pfs.datapath), if
+        #: this server's queues are currently being fast-forwarded
+        #: analytically.  Any event-stepped entry below revokes it
+        #: first, so the span is never observable from the outside.
+        self.span = None
+        #: Disk-model constants cached by the batched data path (keyed
+        #: by the disk object so a swapped disk invalidates them).
+        self._dp_const = None
+        ionode.settle_hook = self.settle
+
+    # -- batched-datapath interop ------------------------------------------
+    def settle(self) -> None:
+        """Fold any active analytic span back into real queue state."""
+        span = self.span
+        if span is not None:
+            span.revoke()
 
     # -- helpers -----------------------------------------------------------
     def _block_key(self, piece: StripePiece, file_id: int):
@@ -71,6 +87,7 @@ class StripeServer:
         ``cached=False`` bypasses the block cache entirely (buffering
         disabled on the handle): every call is a real disk access.
         """
+        self.settle()
         self.reads += 1
         self.bytes_read += piece.nbytes
         if cached and self.cache.lookup(self._block_key(piece, file_id)):
@@ -99,6 +116,7 @@ class StripeServer:
         reason scattered small writes are so much slower than the
         sequential small writes a single coordinator issues.
         """
+        self.settle()
         self.writes += 1
         self.bytes_written += piece.nbytes
         yield from self.ionode.submit(
@@ -119,6 +137,7 @@ class StripeServer:
         if not cached:
             yield from self.write_through(node, file_id, piece, cached=False)
             return
+        self.settle()
         self.writes += 1
         self.bytes_written += piece.nbytes
         slot = self._wb_slots.request()

@@ -191,6 +191,28 @@ class Engine:
             ev._pooled = True
         return ev
 
+    def at(self, when: float, value: object = None) -> Event:
+        """An event that triggers at the *absolute* time ``when``.
+
+        Unlike ``timeout(when - now)``, the event lands exactly at
+        ``when`` with no float round-trip through a delay — which is
+        what the analytic fast-forward in the PFS data path needs to
+        reproduce precomputed completion instants bit-for-bit.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now={self._now})"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        if self._fast:
+            self._insert(when, NORMAL, ev)
+        else:
+            self._eid += 1
+            heappush(self._queue, (when, NORMAL, self._eid, ev))
+        return ev
+
     def process(
         self,
         generator: Generator[Event, object, object],

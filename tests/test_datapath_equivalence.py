@@ -1,0 +1,117 @@
+"""Equivalence of the batched data path with the legacy per-piece path.
+
+The batched data path (``repro.pfs.datapath``, ``REPRO_FAST_DATAPATH``)
+is a pure performance feature: for every access mode and any request
+shape it must produce the byte-identical SDDF trace — and therefore
+identical Table-2/Table-3 rows — that the legacy event-stepped piece
+processes produce.  These tests drive a multi-rank workload through
+all six PFS modes with stripe-aligned and ragged request sizes, under
+both settings, and compare the complete outputs.
+"""
+
+import io
+
+import pytest
+
+from repro.core.breakdown import execution_fraction, io_time_breakdown
+from repro.machine import DiskConfig, MachineConfig, NetworkConfig, ParagonXPS
+from repro.pablo import Tracer
+from repro.pablo.sddf import write_sddf
+from repro.pfs import PFS, PFSCostModel
+from repro.pfs.modes import AccessMode
+from repro.sim import Engine
+from repro.units import KB
+
+N_RANKS = 4
+
+#: Stripe-aligned request sizes (stripe = 64 KB below).
+ALIGNED = (64 * KB, 128 * KB, 64 * KB)
+#: Ragged sizes: sub-stripe, prime-ish, and stripe-crossing.
+RAGGED = (3000, 7777, 65 * KB + 123)
+
+
+def _run_world(fast_datapath, mode, sizes, monkeypatch):
+    """One complete simulated run; returns (sddf_bytes, trace, wall)."""
+    monkeypatch.setenv("REPRO_FAST_DATAPATH", "1" if fast_datapath else "0")
+    eng = Engine()
+    config = MachineConfig(
+        mesh_cols=4,
+        mesh_rows=4,
+        n_compute_nodes=16,
+        n_io_nodes=4,
+        stripe_size=64 * KB,
+        network=NetworkConfig(),
+        disk=DiskConfig(),
+    )
+    machine = ParagonXPS(eng, config)
+    tracer = Tracer()
+    pfs = PFS(eng, machine, tracer=tracer)
+    assert (pfs.datapath is not None) == fast_datapath
+
+    group = list(range(N_RANKS))
+    gopen_mode = None if mode is AccessMode.M_UNIX else mode
+    if mode is AccessMode.M_RECORD:
+        sizes = (sizes[0],) * len(sizes)  # fixed-size mode
+
+    def rank_proc(rank):
+        cli = pfs.client(rank)
+        h = yield from cli.gopen("/pfs/eq", group=group, mode=gopen_mode)
+        for s in sizes:
+            yield from cli.write(h, s)
+        yield from cli.close(h)
+        h = yield from cli.gopen("/pfs/eq", group=group, mode=gopen_mode)
+        for s in sizes:
+            yield from cli.read(h, s)
+        yield from cli.close(h)
+
+    for rank in group:
+        eng.process(rank_proc(rank), name=f"rank-{rank}")
+    eng.run()
+    trace = tracer.finish()
+    out = io.StringIO()
+    write_sddf(trace, out)
+    return out.getvalue(), trace, eng.now
+
+
+@pytest.mark.parametrize("mode", list(AccessMode), ids=lambda m: m.value)
+@pytest.mark.parametrize(
+    "sizes", [ALIGNED, RAGGED], ids=["aligned", "ragged"]
+)
+def test_datapath_matches_legacy(mode, sizes, monkeypatch):
+    fast_sddf, fast_trace, fast_wall = _run_world(
+        True, mode, sizes, monkeypatch
+    )
+    legacy_sddf, legacy_trace, legacy_wall = _run_world(
+        False, mode, sizes, monkeypatch
+    )
+    # Byte-identical SDDF output, identical simulated wall clock.
+    assert fast_sddf == legacy_sddf
+    assert fast_wall == legacy_wall
+    assert len(fast_trace) > 0
+
+    # Table-2 rows: per-op I/O-time totals and counts match exactly.
+    fast_b = io_time_breakdown(fast_trace)
+    legacy_b = io_time_breakdown(legacy_trace)
+    assert fast_b.totals == legacy_b.totals
+    assert fast_b.counts == legacy_b.counts
+
+    # Table-3 rows: % of execution node-time per op matches exactly.
+    fast_rows = execution_fraction(fast_trace, fast_wall, n_nodes=N_RANKS)
+    legacy_rows = execution_fraction(
+        legacy_trace, legacy_wall, n_nodes=N_RANKS
+    )
+    assert fast_rows == legacy_rows
+
+
+def test_datapath_off_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_DATAPATH", "0")
+    eng = Engine()
+    machine = ParagonXPS(
+        eng,
+        MachineConfig(
+            mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=4,
+            stripe_size=64 * KB, network=NetworkConfig(), disk=DiskConfig(),
+        ),
+    )
+    pfs = PFS(eng, machine, costs=PFSCostModel())
+    assert pfs.datapath is None

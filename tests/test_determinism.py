@@ -6,6 +6,7 @@ same SDDF bytes and the same table rows, however the run executed.
 """
 
 import io
+import os
 
 import pytest
 
@@ -75,6 +76,44 @@ def test_cache_round_trip_preserves_metadata(tmp_path, monkeypatch):
     assert loaded.n_nodes == result.n_nodes
     assert loaded.wall_time == result.wall_time
     assert len(loaded.trace) == len(result.trace)
+
+
+def test_cache_lru_eviction(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    result = run_escat("A", problem, seed=SEED)
+    keys = [
+        cache.run_key(kind="evict", n=i, problem=problem) for i in range(3)
+    ]
+    for i, key in enumerate(keys):
+        cache.store(key, result)
+        # Force distinct, ordered recency stamps (filesystem mtime
+        # granularity would otherwise tie them).
+        _, meta_path = cache._paths(key)
+        os.utime(meta_path, (1000 + i, 1000 + i))
+    per_entry = sum(
+        p.stat().st_size for key in keys for p in cache._paths(key)
+    ) // 3
+
+    # Cap to roughly two entries: only the least recently used goes.
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(2 * per_entry + 16))
+    assert cache.evict() == 1
+    assert cache.load(keys[0]) is None
+    assert cache.load(keys[1]) is not None
+    assert cache.load(keys[2]) is not None
+
+    # keep_key survives even an impossible cap.
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1")
+    cache.evict(keep_key=keys[2])
+    assert cache.load(keys[1]) is None
+    assert cache.load(keys[2]) is not None
+
+    # <= 0 disables the cap entirely.
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+    assert cache.evict() == 0
+    assert cache.load(keys[2]) is not None
 
 
 def test_table2_identical_across_kernels(monkeypatch):

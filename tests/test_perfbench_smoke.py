@@ -72,12 +72,57 @@ def test_report_render_and_write(tmp_path):
     assert json.loads(out.read_text())["engine"]["speedup"] == 4.0
 
 
+def test_datapath_decomposition_bench_shape():
+    out = perfbench.bench_datapath_decomposition(quick=True)
+    assert out["scalar_pieces_per_s"] > 0
+    assert out["vectorized_pieces_per_s"] > 0
+    assert out["speedup"] > 0
+
+
+def test_datapath_server_load_runs():
+    requests = 2 * 10 * 2
+    wall = perfbench._server_load_run(True, n_ranks=2, ops=10)
+    assert wall > 0
+    assert requests / wall > 0
+
+
+def test_datapath_render(tmp_path):
+    payload = {
+        "benchmark": "repro batched PFS data path",
+        "quick": True,
+        "decomposition": {
+            "workload": "w", "scalar_pieces_per_s": 100,
+            "vectorized_pieces_per_s": 1000, "speedup": 10.0,
+        },
+        "server": {
+            "workload": "w", "legacy_requests_per_s": 100,
+            "fast_requests_per_s": 150, "speedup": 1.5,
+        },
+        "end_to_end": {
+            "scale": "paper", "fast_wall_s": 4.0, "legacy_wall_s": 8.0,
+            "records": 10, "speedup_vs_legacy_datapath": 2.0,
+            "speedup_vs_pr1_baseline": 2.09,
+        },
+        "baseline_pr1": perfbench.DATAPATH_BASELINE,
+        "criteria": perfbench.DATAPATH_CRITERIA,
+        "environment": {},
+        "suite_wall_s": 2.0,
+    }
+    text = perfbench.render_datapath(payload)
+    assert "speedup 10.00x" in text
+    assert "PR 1 baseline" in text
+    out = tmp_path / "BENCH_datapath.json"
+    perfbench.write_report(payload, str(out))
+    assert json.loads(out.read_text())["server"]["speedup"] == 1.5
+
+
 def test_cli_exposes_bench_and_cache_flags():
     from repro.cli import build_parser
 
     parser = build_parser()
     args = parser.parse_args(["bench", "--quick", "--output", "x.json"])
     assert args.quick and args.output == "x.json"
+    assert args.datapath_output == "BENCH_datapath.json"
     args = parser.parse_args(["validate", "--jobs", "4", "--no-cache"])
     assert args.jobs == 4 and args.no_cache
     args = parser.parse_args(["all", "--jobs", "2"])
