@@ -79,6 +79,9 @@ class AppRunResult:
     n_nodes: int
     trace: Trace
     wall_time: float
+    #: Fault-engine counters (repro.faults), when the run was executed
+    #: under a fault plan; ``None`` for healthy runs.
+    fault_summary: Optional[dict] = None
 
     @property
     def io_node_seconds(self) -> float:
@@ -101,12 +104,14 @@ def run_application(
     costs: Optional[PFSCostModel] = None,
     seed: int = 0,
     os_release: str = "OSF/1 R1.3",
+    fault_plan=None,
 ) -> AppRunResult:
     """Run one application version on a fresh simulated machine.
 
     ``rank_process(ctx, rank)`` must be a generator modeling the whole
     execution of one rank.  The run's wall time is when the last rank
-    finishes.
+    finishes.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`)
+    attaches a fault engine before the first rank starts.
     """
     env = Engine()
     streams = RandomStreams(seed=seed)
@@ -122,6 +127,11 @@ def run_application(
         )
     )
     pfs = PFS(env, machine, costs=costs, tracer=tracer)
+    faults = None
+    if fault_plan is not None:
+        from repro.faults import FaultEngine
+
+        faults = FaultEngine(env, machine, pfs, fault_plan)
     ctx = AppContext(env, machine, pfs, tracer, n_nodes, streams)
     procs = [
         env.process(rank_process(ctx, rank), name=f"{application}.{rank}")
@@ -136,6 +146,7 @@ def run_application(
         n_nodes=n_nodes,
         trace=tracer.finish(),
         wall_time=wall,
+        fault_summary=None if faults is None else faults.summary(),
     )
 
 

@@ -280,6 +280,7 @@ def run_escat(
     costs: Optional[PFSCostModel] = None,
     seed: int = 0,
     version_obj: Optional[EscatVersion] = None,
+    fault_plan=None,
 ) -> AppRunResult:
     """Run one ESCAT version on a fresh simulated Paragon.
 
@@ -314,4 +315,5 @@ def run_escat(
         costs=costs,
         seed=seed,
         os_release=v.os_release,
+        fault_plan=fault_plan,
     )

@@ -245,6 +245,7 @@ def run_prism(
     machine_config: Optional[MachineConfig] = None,
     costs: Optional[PFSCostModel] = None,
     seed: int = 0,
+    fault_plan=None,
 ) -> AppRunResult:
     """Run one PRISM version ("A", "B" or "C") on a fresh machine."""
     v = PRISM_VERSIONS.get(version)
@@ -272,4 +273,5 @@ def run_prism(
         costs=costs,
         seed=seed,
         os_release="OSF/1 R1.3",
+        fault_plan=fault_plan,
     )

@@ -18,6 +18,9 @@ Subcommands
     Darshan-style per-file counter report for an application run.
 ``repro bench [--quick] [--output PATH]``
     Run the fast-core performance suite (emits BENCH_core.json).
+``repro chaos [--seed N] [--app escat|prism|both] [--classes LIST] [--plan FILE]``
+    Re-run the version progression under fault injection and report
+    which paper-level conclusions survive which fault classes.
 
 ``all`` and ``validate`` accept ``--jobs N`` (prewarm the run cache
 with N worker processes) and ``--no-cache`` (force fresh simulations,
@@ -162,6 +165,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import chaos_report
+    from repro.faults import FaultPlan
+
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_file(args.plan)
+    classes = None
+    if args.classes:
+        classes = [c.strip() for c in args.classes.split(",") if c.strip()]
+    apps = ("escat", "prism") if args.app == "both" else (args.app,)
+    for app in apps:
+        report = chaos_report(
+            seed=args.seed, app=app, classes=classes, plan=plan,
+            timeout=args.timeout,
+        )
+        print(report.format())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,6 +261,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--datapath-output", default="BENCH_datapath.json",
                    help="data-path report path (empty string skips it)")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection validation of the paper's conclusions",
+    )
+    p.add_argument("--seed", type=int, default=1996,
+                   help="fault-plan seed (default 1996)")
+    p.add_argument("--app", choices=["escat", "prism", "both"],
+                   default="escat")
+    p.add_argument("--classes", default="",
+                   help="comma-separated fault classes "
+                        "(disk,crash,network,slowdown; default all)")
+    p.add_argument("--plan", default="",
+                   help="JSON fault-plan file (overrides --classes)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock guard in real seconds")
+    p.set_defaults(fn=_cmd_chaos)
     return parser
 
 
@@ -247,6 +287,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Unreadable config paths, unwritable outputs: one line, no
+        # traceback — same contract as simulator-level errors.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

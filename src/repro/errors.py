@@ -57,6 +57,28 @@ class AccessModeError(PFSError):
     variable-size requests under ``M_RECORD``."""
 
 
+class FaultError(ReproError):
+    """Invalid fault plan or fault-engine misuse."""
+
+
+class DataLossError(FaultError):
+    """A fault destroyed data the model cannot recover (e.g. a second
+    disk failure inside an already-degraded RAID-3 array)."""
+
+
+class ServerUnavailableError(PFSError):
+    """A request reached a stripe server whose I/O node is down."""
+
+
+class MessageLostError(PFSError):
+    """A mesh message was dropped by a transient network fault; the
+    sender observes a request timeout."""
+
+
+class RetryExhaustedError(PFSError):
+    """A PFS client gave up on a request after its bounded retries."""
+
+
 class TraceError(ReproError):
     """Malformed Pablo trace data or inconsistent trace operations."""
 

@@ -42,7 +42,6 @@ from pathlib import Path
 from typing import Optional
 
 from repro.apps.base import AppRunResult
-from repro.errors import ReproError
 from repro.pablo.sddf import read_sddf, write_sddf
 
 #: Bump this whenever simulator behaviour changes in a way the key
@@ -123,13 +122,32 @@ def _paths(key: str) -> tuple:
 
 
 def load(key: str) -> Optional[AppRunResult]:
-    """The cached run for ``key``, or ``None`` on any miss/corruption."""
+    """The cached run for ``key``, or ``None`` on any miss/corruption.
+
+    Any defect — truncated trace, unparsable sidecar, missing sidecar
+    next to an orphaned trace — is treated as a miss, and the broken
+    entry is *quarantined* (both files unlinked) so the fresh run that
+    follows can overwrite it cleanly and the defect cannot recur.
+    """
     if not cache_enabled():
         return None
     trace_path, meta_path = _paths(key)
+    if not meta_path.exists():
+        # No commit marker: a plain miss, or a torn write that left an
+        # orphaned trace behind.  Quarantine the orphan.
+        _quarantine(trace_path, meta_path)
+        return None
     try:
         meta = json.loads(meta_path.read_text())
         trace = read_sddf(trace_path)
+        if len(trace) != meta["events"]:
+            # A truncated trace can still parse as a shorter (even
+            # empty) valid SDDF stream; the sidecar's event count is
+            # the integrity check that catches it.
+            raise ValueError(
+                f"trace has {len(trace)} events, sidecar says "
+                f"{meta['events']}"
+            )
         try:
             os.utime(meta_path)  # refresh LRU recency on hit
         except OSError:
@@ -142,8 +160,20 @@ def load(key: str) -> Optional[AppRunResult]:
             trace=trace,
             wall_time=meta["wall_time"],
         )
-    except (OSError, ValueError, KeyError, TypeError, ReproError):
+    except Exception:
+        # Corrupt or truncated entry (whatever the failure mode — a
+        # cache defect must never crash an experiment run): miss.
+        _quarantine(trace_path, meta_path)
         return None
+
+
+def _quarantine(trace_path: Path, meta_path: Path) -> None:
+    """Unlink a broken entry's files; never raises."""
+    for path in (meta_path, trace_path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
 
 def store(key: str, result: AppRunResult) -> None:

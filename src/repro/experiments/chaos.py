@@ -1,0 +1,260 @@
+"""Chaos validation: which paper conclusions survive which faults?
+
+The paper's headline results are *orderings* and *shapes*: version C
+beats B beats A in wall time, and the read-duration distributions keep
+their characteristic shapes.  This module re-runs the version
+progression under each fault class of a seeded
+:class:`~repro.faults.FaultPlan` and reports, per class, whether those
+conclusions still hold — the simulated analogue of a chaos-engineering
+suite, exercised through :func:`repro.experiments.runner.run_guarded`
+so a run that dies or hangs under injection degrades to a reportable
+partial result.
+
+Everything here is deterministic: given the same seed the report text
+is byte-identical across processes, kernels, and data paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import (
+    run_escat,
+    run_prism,
+    scaled_escat_problem,
+    scaled_prism_problem,
+)
+from repro.errors import WorkloadError
+from repro.faults import FaultPlan
+from repro.machine import MachineConfig
+from repro.pablo.records import IOOp
+from repro.experiments.runner import DEFAULT_SEED, GuardedRun, run_guarded
+
+#: Read-duration CDF probe points (quartiles plus the tail the paper's
+#: figures emphasize).
+QUANTILES = (0.25, 0.5, 0.75, 0.9)
+
+#: Relative per-quantile drift below which the CDF shape counts as
+#: preserved.  Faults add retries and degraded service, so some drift
+#: is expected; an order-of-magnitude shift is not.
+CDF_TOLERANCE = 0.25
+
+VERSIONS = ("A", "B", "C")
+
+
+def _quantiles(values: Sequence[float]) -> Tuple[float, ...]:
+    """Deterministic linear-interpolation quantiles of ``values``."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return tuple(0.0 for _ in QUANTILES)
+    last = len(data) - 1
+    out = []
+    for q in QUANTILES:
+        pos = q * last
+        lo = int(pos)
+        hi = lo if lo == last else lo + 1
+        frac = pos - lo
+        out.append(data[lo] * (1.0 - frac) + data[hi] * frac)
+    return tuple(out)
+
+
+@dataclass
+class ChaosCell:
+    """One (fault class, version) outcome."""
+
+    version: str
+    completed: bool
+    error: Optional[str] = None
+    timed_out: bool = False
+    wall_time: float = 0.0
+    read_quantiles: Tuple[float, ...] = ()
+    cdf_drift: float = 0.0
+    fault_summary: Optional[dict] = None
+
+
+@dataclass
+class ChaosRow:
+    """All versions of the progression under one fault class."""
+
+    fault_class: str
+    plan_lines: str
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    @property
+    def completed_versions(self) -> List[str]:
+        return [c.version for c in self.cells if c.completed]
+
+    @property
+    def max_cdf_drift(self) -> float:
+        drifts = [c.cdf_drift for c in self.cells if c.completed]
+        return max(drifts) if drifts else 0.0
+
+
+@dataclass
+class ChaosReport:
+    """The full chaos matrix for one application progression."""
+
+    app: str
+    seed: int
+    baseline_ranking: Tuple[str, ...]
+    baseline_walls: Dict[str, float]
+    baseline_quantiles: Dict[str, Tuple[float, ...]]
+    rows: List[ChaosRow] = field(default_factory=list)
+
+    def ranking_preserved(self, row: ChaosRow) -> bool:
+        """Whether the surviving versions still rank as the paper says.
+
+        Versions that did not complete are excluded: an ordering over
+        what remains is the strongest claim a partial result supports.
+        """
+        done = {c.version: c.wall_time for c in row.cells if c.completed}
+        if len(done) < 2:
+            return len(done) == 1
+        expected = [v for v in self.baseline_ranking if v in done]
+        observed = sorted(done, key=lambda v: -done[v])  # slowest first
+        return expected == observed
+
+    def format(self) -> str:
+        lines = [
+            f"chaos report: {self.app} progression, seed {self.seed}",
+            "baseline ranking (fastest first): "
+            + " < ".join(reversed(self.baseline_ranking)),
+            "",
+        ]
+        for row in self.rows:
+            lines.append(f"== fault class: {row.fault_class} ==")
+            for plan_line in row.plan_lines.splitlines():
+                lines.append(f"   {plan_line}")
+            for cell in row.cells:
+                if cell.completed:
+                    base = self.baseline_walls[cell.version]
+                    summ = cell.fault_summary or {}
+                    lines.append(
+                        f"   {cell.version}: completed  wall "
+                        f"{cell.wall_time:9.3f}s ({cell.wall_time - base:+8.3f}s"
+                        f" vs healthy)  cdf drift {cell.cdf_drift:6.1%}  "
+                        f"retries {summ.get('retries', 0)} "
+                        f"lost {summ.get('messages_lost', 0)} "
+                        f"wb_lost {summ.get('wb_lost', 0)}"
+                    )
+                elif cell.timed_out:
+                    lines.append(f"   {cell.version}: TIMED OUT (partial)")
+                else:
+                    lines.append(f"   {cell.version}: FAILED ({cell.error})")
+            done = row.completed_versions
+            verdicts = [
+                f"completed {len(done)}/{len(row.cells)}",
+                "ranking "
+                + ("preserved" if self.ranking_preserved(row) else "BROKEN"),
+                "cdf "
+                + ("stable" if row.max_cdf_drift <= CDF_TOLERANCE
+                   else f"SHIFTED ({row.max_cdf_drift:.1%})"),
+            ]
+            lines.append("   verdict: " + ", ".join(verdicts))
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def _read_durations(result) -> Sequence[float]:
+    return result.trace.by_op(IOOp.READ).durations().tolist()
+
+
+def _drift(base: Tuple[float, ...], probe: Tuple[float, ...]) -> float:
+    worst = 0.0
+    for b, p in zip(base, probe):
+        if b > 0:
+            rel = abs(p - b) / b
+        else:
+            rel = 0.0 if p == 0 else 1.0
+        if rel > worst:
+            worst = rel
+    return worst
+
+
+def _producer(app: str, version: str, seed: int) -> Callable:
+    if app == "escat":
+        problem = scaled_escat_problem()
+        return lambda plan=None: run_escat(
+            version, problem, seed=seed, fault_plan=plan
+        )
+    if app == "prism":
+        problem = scaled_prism_problem()
+        return lambda plan=None: run_prism(
+            version, problem, seed=seed, fault_plan=plan
+        )
+    raise WorkloadError(f"unknown chaos app {app!r}; have escat, prism")
+
+
+def chaos_report(
+    seed: int = DEFAULT_SEED,
+    app: str = "escat",
+    classes: Optional[Sequence[str]] = None,
+    plan: Optional[FaultPlan] = None,
+    timeout: Optional[float] = None,
+) -> ChaosReport:
+    """Build the chaos matrix for one application progression.
+
+    Baselines run healthy first; then every version re-runs under one
+    seeded plan per fault class (or under the explicit ``plan``, as a
+    single "custom" row).  ``timeout`` is a per-run wall-clock guard in
+    real seconds (see :func:`run_guarded`).
+    """
+    from repro.faults.plan import FAULT_CLASSES
+
+    producers = {v: _producer(app, v, seed) for v in VERSIONS}
+    baselines = {v: producers[v]() for v in VERSIONS}
+    walls = {v: baselines[v].wall_time for v in VERSIONS}
+    # Slowest first, so "ranking preserved" reads A < ... improvements.
+    ranking = tuple(sorted(VERSIONS, key=lambda v: -walls[v]))
+    base_q = {v: _quantiles(_read_durations(baselines[v])) for v in VERSIONS}
+    report = ChaosReport(
+        app=app, seed=seed, baseline_ranking=ranking,
+        baseline_walls=walls, baseline_quantiles=base_q,
+    )
+
+    n_io = MachineConfig.caltech().n_io_nodes
+    if plan is not None:
+        scenarios = [("custom", {v: plan for v in VERSIONS})]
+    else:
+        wanted = tuple(classes) if classes else FAULT_CLASSES
+        scenarios = []
+        for cls_name in wanted:
+            # Horizon scaled to each version's healthy wall time, so
+            # the injection lands mid-run for every version.
+            per_version = {
+                v: FaultPlan.seeded(
+                    seed=seed, horizon=walls[v], n_io_nodes=n_io,
+                    classes=(cls_name,),
+                )
+                for v in VERSIONS
+            }
+            scenarios.append((cls_name, per_version))
+
+    for cls_name, per_version in scenarios:
+        row = ChaosRow(
+            fault_class=cls_name,
+            plan_lines=per_version[VERSIONS[0]].describe(),
+        )
+        for v in VERSIONS:
+            guarded: GuardedRun = run_guarded(
+                lambda v=v: producers[v](per_version[v]),
+                wall_timeout=timeout,
+            )
+            if guarded.completed:
+                result = guarded.result
+                probe_q = _quantiles(_read_durations(result))
+                row.cells.append(ChaosCell(
+                    version=v, completed=True,
+                    wall_time=result.wall_time,
+                    read_quantiles=probe_q,
+                    cdf_drift=_drift(base_q[v], probe_q),
+                    fault_summary=result.fault_summary,
+                ))
+            else:
+                row.cells.append(ChaosCell(
+                    version=v, completed=False,
+                    error=guarded.error, timed_out=guarded.timed_out,
+                ))
+        report.rows.append(row)
+    return report

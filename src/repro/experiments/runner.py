@@ -15,8 +15,12 @@ simulations.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Optional, Tuple
+import signal
+import threading
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
 
 from repro.apps import (
     CARBON_MONOXIDE,
@@ -130,6 +134,65 @@ def carbon_monoxide_result(
             lambda: run_escat("C", problem, seed=seed, version_obj=version),
         )
     return _CACHE[key]
+
+
+@dataclass
+class GuardedRun:
+    """Outcome of :func:`run_guarded`: a result, an error, or a timeout.
+
+    Exactly one of ``result`` / ``error`` / ``timed_out`` describes the
+    outcome; the other fields keep their defaults.  This is the
+    graceful-degradation wrapper the chaos harness uses: a run that
+    fails or hangs under fault injection becomes a reportable partial
+    result instead of killing the whole experiment batch.
+    """
+
+    result: Optional[AppRunResult] = None
+    error: Optional[str] = None
+    timed_out: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+
+class _WallClockTimeout(Exception):
+    pass
+
+
+def run_guarded(
+    producer: Callable[[], AppRunResult],
+    wall_timeout: Optional[float] = None,
+) -> GuardedRun:
+    """Run ``producer()`` and fold failures into a :class:`GuardedRun`.
+
+    ``wall_timeout`` (real seconds, not simulated) aborts a runaway
+    simulation via ``SIGALRM``; it is honored only on the main thread
+    of platforms that have ``setitimer`` — elsewhere the run is simply
+    unguarded against hangs (errors are still caught).
+    """
+    use_alarm = (
+        wall_timeout is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _WallClockTimeout()
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, wall_timeout)
+    try:
+        result = producer()
+    except _WallClockTimeout:
+        return GuardedRun(timed_out=True)
+    except ReproError as exc:
+        return GuardedRun(error=f"{type(exc).__name__}: {exc}")
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return GuardedRun(result=result)
 
 
 def prism_result(

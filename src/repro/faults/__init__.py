@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulated Paragon.
+
+A :class:`FaultPlan` declares *what* goes wrong and *when* — disk
+failures inside RAID-3 arrays, I/O-node crashes and restarts, transient
+mesh message loss/stall episodes, and slow-down episodes — either as an
+explicit schedule or derived from a seed.  A :class:`FaultEngine`
+attaches one plan to one running simulation and applies every event at
+its exact simulated instant, so a faulted run is just as deterministic
+and kernel/datapath-independent as a healthy one.
+
+See ``docs/faults.md`` for the fault model, retry/timeout semantics,
+and the determinism guarantees.
+"""
+
+from repro.faults.engine import FaultEngine
+from repro.faults.plan import (
+    DiskFailure,
+    FaultPlan,
+    NetworkEpisode,
+    NodeCrash,
+    RetryPolicy,
+    SlowDown,
+)
+
+__all__ = [
+    "DiskFailure",
+    "FaultEngine",
+    "FaultPlan",
+    "NetworkEpisode",
+    "NodeCrash",
+    "RetryPolicy",
+    "SlowDown",
+]

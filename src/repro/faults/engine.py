@@ -1,0 +1,283 @@
+"""The fault engine: applies one :class:`FaultPlan` to one running sim.
+
+Construction wires the engine through the stack — per-node crash state
+on every I/O node and stripe server, the client retry layer on the
+PFS, and a span gate on the batched data path — then schedules one
+absolute-time event per fault transition.  Everything is driven by the
+simulation clock, so a faulted run is exactly as deterministic as a
+healthy one.
+
+Determinism across the batched and event-stepped data paths comes from
+*quiet-time gating*: a server with any fault transition still ahead of
+it (or any network episode still ahead, which affects every server)
+never hosts a :class:`~repro.pfs.datapath.FastSpan`.  Faulted traffic
+is therefore event-stepped under both ``REPRO_FAST_DATAPATH`` settings
+and sees identical failure/retry timing; spans only ever run on
+servers whose fault schedule is entirely in the past — including
+degraded or permanently crash-free state, which the span prices
+through the disk's *current* config.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from repro.errors import MessageLostError, ServerUnavailableError
+from repro.faults.plan import (
+    DiskFailure,
+    FaultPlan,
+    NetworkEpisode,
+    NodeCrash,
+    SlowDown,
+)
+from repro.pfs.cache import BlockCache
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.paragon import ParagonXPS
+    from repro.pfs.client import PFS
+    from repro.sim import Engine
+
+
+class NodeFaultState:
+    """Crash state of one I/O node, consulted by the request guards."""
+
+    __slots__ = ("env", "index", "down", "policy", "restored")
+
+    def __init__(self, env: "Engine", index: int) -> None:
+        self.env = env
+        self.index = index
+        self.down = False
+        self.policy = "fail"
+        #: Event the current outage resolves with; a fresh event per
+        #: crash so stalled waiters from an earlier outage never leak.
+        self.restored: Optional[Event] = None
+
+    def gate(self) -> Generator:
+        """Process step run by a request that finds the node down:
+        raise immediately (``fail``) or wait for the restart
+        (``stall``)."""
+        while self.down:
+            if self.policy == "fail":
+                raise ServerUnavailableError(
+                    f"I/O node {self.index} is down"
+                )
+            yield self.restored
+
+
+class FaultEngine:
+    """Applies a validated :class:`FaultPlan` to a running simulation."""
+
+    def __init__(
+        self,
+        env: "Engine",
+        machine: "ParagonXPS",
+        pfs: "PFS",
+        plan: FaultPlan,
+    ) -> None:
+        n_io = machine.config.n_io_nodes
+        plan.validate(n_io)
+        self.env = env
+        self.machine = machine
+        self.pfs = pfs
+        self.plan = plan
+        self.net = machine.network
+        #: Counters for reports and the run summary.
+        self.retries = 0
+        self.messages_lost = 0
+        self.applied: List[str] = []
+        #: Current machine-wide network episode (None | "loss" | "stall").
+        self._net_kind: Optional[str] = None
+        self._net_resume: Optional[Event] = None
+
+        self.node_state = [NodeFaultState(env, i) for i in range(n_io)]
+        for state, ionode, server in zip(
+            self.node_state, machine.io_nodes, pfs.servers
+        ):
+            ionode.faults = state
+            server.faults = state
+        pfs.faults = self
+        if pfs.datapath is not None:
+            pfs.datapath.faults = self
+
+        # -- span quiet times (see module docstring) --------------------
+        quiet = [0.0] * n_io
+        net_quiet = 0.0
+        for ev in plan.events:
+            if isinstance(ev, NetworkEpisode):
+                net_quiet = max(net_quiet, ev.time + ev.duration)
+            elif isinstance(ev, DiskFailure):
+                end = (
+                    ev.time if ev.rebuild_after is None
+                    else ev.time + ev.rebuild_after
+                )
+                quiet[ev.io_node] = max(quiet[ev.io_node], end)
+            elif isinstance(ev, NodeCrash):
+                end = (
+                    float("inf") if ev.restart_after is None
+                    else ev.time + ev.restart_after
+                )
+                quiet[ev.io_node] = max(quiet[ev.io_node], end)
+            elif isinstance(ev, SlowDown):
+                end = ev.time + ev.duration
+                if ev.io_node is None:
+                    quiet = [max(q, end) for q in quiet]
+                else:
+                    quiet[ev.io_node] = max(quiet[ev.io_node], end)
+        self._quiet = [max(q, net_quiet) for q in quiet]
+
+        for ev in plan.events:
+            self._schedule(ev.time, self._apply, ev)
+
+    # -- scheduling helpers ---------------------------------------------
+    def _schedule(self, when: float, fn, *args) -> None:
+        event = self.env.at(when)
+        event.callbacks.append(lambda _ev: fn(*args))
+
+    def _log(self, text: str) -> None:
+        self.applied.append(f"t={self.env.now:.3f}s {text}")
+
+    # -- span gating ------------------------------------------------------
+    def span_ok(self, io_node: int) -> bool:
+        """Whether the batched data path may plan a span on ``io_node``
+        right now: every fault transition that could touch this server
+        (or the network) must already be in the past."""
+        return (
+            self.env.now >= self._quiet[io_node]
+            and not self.node_state[io_node].down
+        )
+
+    # -- fault application ------------------------------------------------
+    def _apply(self, ev) -> None:
+        if isinstance(ev, DiskFailure):
+            self._apply_disk_failure(ev)
+        elif isinstance(ev, NodeCrash):
+            self._apply_crash(ev)
+        elif isinstance(ev, NetworkEpisode):
+            self._apply_network(ev)
+        else:
+            self._apply_slowdown(ev)
+
+    def _apply_disk_failure(self, ev: DiskFailure) -> None:
+        server = self.pfs.servers[ev.io_node]
+        server.settle()
+        disk = server.ionode.disk
+        disk.fail_disk()
+        self._log(f"disk failure io_node={ev.io_node} (degraded mode)")
+        if ev.rebuild_after is not None:
+            self._schedule(
+                ev.time + ev.rebuild_after, self._apply_rebuild, ev.io_node
+            )
+
+    def _apply_rebuild(self, io_node: int) -> None:
+        server = self.pfs.servers[io_node]
+        server.settle()
+        server.ionode.disk.rebuild_complete()
+        self._log(f"rebuild complete io_node={io_node}")
+
+    def _apply_crash(self, ev: NodeCrash) -> None:
+        server = self.pfs.servers[ev.io_node]
+        server.settle()
+        state = self.node_state[ev.io_node]
+        state.down = True
+        state.policy = ev.policy
+        state.restored = Event(self.env)
+        # Volatile state dies with the node: cached blocks vanish (the
+        # counters survive — they describe the run, not the memory) and
+        # the array loses its head-position affinity.
+        old = server.cache
+        fresh = BlockCache(old.capacity)
+        fresh.hits, fresh.misses, fresh.evictions = (
+            old.hits, old.misses, old.evictions
+        )
+        server.cache = fresh
+        server.ionode.disk.reset_position()
+        self._log(
+            f"node crash io_node={ev.io_node} policy={ev.policy}"
+            + ("" if ev.restart_after is None else " (restart scheduled)")
+        )
+        if ev.restart_after is not None:
+            self._schedule(
+                ev.time + ev.restart_after, self._apply_restart, ev.io_node
+            )
+
+    def _apply_restart(self, io_node: int) -> None:
+        state = self.node_state[io_node]
+        state.down = False
+        self._log(f"node restart io_node={io_node}")
+        state.restored.succeed()
+
+    def _apply_network(self, ev: NetworkEpisode) -> None:
+        for server in self.pfs.servers:
+            server.settle()
+        self._net_kind = ev.kind
+        self._net_resume = Event(self.env)
+        self._log(f"network {ev.kind} episode ({ev.duration:.3f}s)")
+        self._schedule(ev.time + ev.duration, self._apply_network_end)
+
+    def _apply_network_end(self) -> None:
+        self._net_kind = None
+        resume = self._net_resume
+        self._net_resume = None
+        self._log("network episode over")
+        resume.succeed()
+
+    def _apply_slowdown(self, ev: SlowDown) -> None:
+        targets = (
+            range(len(self.pfs.servers)) if ev.io_node is None
+            else (ev.io_node,)
+        )
+        for i in targets:
+            server = self.pfs.servers[i]
+            server.settle()
+            server.ionode.disk.set_slowdown(ev.factor)
+        where = "all nodes" if ev.io_node is None else f"io_node={ev.io_node}"
+        self._log(f"slow-down x{ev.factor:.2f} {where} ({ev.duration:.3f}s)")
+        self._schedule(
+            ev.time + ev.duration, self._apply_slowdown_end, ev.io_node
+        )
+
+    def _apply_slowdown_end(self, io_node: Optional[int]) -> None:
+        targets = (
+            range(len(self.pfs.servers)) if io_node is None else (io_node,)
+        )
+        for i in targets:
+            server = self.pfs.servers[i]
+            server.settle()
+            server.ionode.disk.clear_slowdown()
+        self._log("slow-down over")
+
+    # -- client-side network semantics ------------------------------------
+    def client_send(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process step: one PFS client message under the current
+        network state.  Lost messages cost the request timeout and
+        raise; stalled messages wait out the episode, then transmit."""
+        kind = self._net_kind
+        if kind is None:
+            yield from self.net.send(src, dst, nbytes)
+            return
+        if kind == "stall":
+            yield self._net_resume
+            yield from self.net.send(src, dst, nbytes)
+            return
+        # Loss: the message vanishes in the mesh; the sender only
+        # learns after its request timeout expires.
+        self.messages_lost += 1
+        yield self.env.timeout(self.plan.retry.request_timeout)
+        raise MessageLostError(
+            f"message {src}->{dst} ({nbytes} bytes) lost in transit"
+        )
+
+    # -- run summary -------------------------------------------------------
+    def summary(self) -> dict:
+        servers = self.pfs.servers
+        return {
+            "retries": self.retries,
+            "messages_lost": self.messages_lost,
+            "wb_lost": sum(s.wb_lost for s in servers),
+            "wb_lost_bytes": sum(s.wb_lost_bytes for s in servers),
+            "degraded": [
+                s.ionode.index for s in servers if s.ionode.disk.degraded
+            ],
+            "applied": list(self.applied),
+        }

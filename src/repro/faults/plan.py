@@ -1,0 +1,339 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an immutable, validated description of every
+fault a run will experience, plus the client retry policy in force.
+Plans are data: they serialize to/from JSON (``repro chaos --plan``)
+and can be generated reproducibly from a seed with
+:meth:`FaultPlan.seeded`, so two runs given the same plan (or the same
+seed) inject byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import FaultError
+
+#: Fault classes ``FaultPlan.seeded`` can draw from.
+FAULT_CLASSES = ("disk", "crash", "network", "slowdown")
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """One member disk of ``io_node``'s RAID-3 array fails at ``time``.
+
+    The array runs degraded (parity-reconstruct penalties) until
+    ``rebuild_after`` seconds later, or forever when ``None``.  A
+    second failure on an already-degraded array is modeled data loss.
+    """
+
+    time: float
+    io_node: int
+    rebuild_after: Optional[float] = None
+
+    def validate(self, n_io_nodes: int) -> None:
+        _check_time(self, n_io_nodes)
+        if self.rebuild_after is not None and self.rebuild_after <= 0:
+            raise FaultError(f"rebuild_after must be positive: {self}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """The whole I/O node (stripe server + disk) crashes at ``time``.
+
+    ``policy`` decides what happens to work the node had accepted:
+
+    - ``"fail"`` — queued and newly arriving requests raise
+      :class:`~repro.errors.ServerUnavailableError` (clients retry per
+      the plan's :class:`RetryPolicy`); undrained write-behind buffers
+      are lost.
+    - ``"stall"`` — requests and undrained buffers wait for the
+      restart and then proceed (requires ``restart_after``).
+
+    In both cases the server's block cache (volatile memory) is wiped
+    and the disk forgets its head position.  Requests already *in
+    service* at the crash instant complete: the crash takes effect at
+    request boundaries, which is what keeps faulted runs deterministic
+    across the event-stepped and batched data paths.
+    """
+
+    time: float
+    io_node: int
+    restart_after: Optional[float] = None
+    policy: str = "fail"
+
+    def validate(self, n_io_nodes: int) -> None:
+        _check_time(self, n_io_nodes)
+        if self.policy not in ("fail", "stall"):
+            raise FaultError(f"unknown crash policy {self.policy!r}")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise FaultError(f"restart_after must be positive: {self}")
+        if self.policy == "stall" and self.restart_after is None:
+            raise FaultError(
+                "crash policy 'stall' requires restart_after (stalled "
+                f"requests would wait forever): {self}"
+            )
+
+
+@dataclass(frozen=True)
+class NetworkEpisode:
+    """A transient mesh misbehavior from ``time`` for ``duration``.
+
+    ``kind="loss"`` drops every PFS client message sent during the
+    episode (the sender waits out its request timeout, then retries);
+    ``kind="stall"`` delays them until the episode ends.
+    """
+
+    time: float
+    duration: float
+    kind: str = "loss"
+
+    def validate(self, n_io_nodes: int) -> None:
+        if self.time < 0:
+            raise FaultError(f"fault time must be >= 0: {self}")
+        if self.duration <= 0:
+            raise FaultError(f"episode duration must be positive: {self}")
+        if self.kind not in ("loss", "stall"):
+            raise FaultError(f"unknown network episode kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SlowDown:
+    """Service on ``io_node`` (all nodes when ``None``) runs ``factor``
+    times slower from ``time`` for ``duration`` seconds."""
+
+    time: float
+    duration: float
+    io_node: Optional[int] = None
+    factor: float = 10.0
+
+    def validate(self, n_io_nodes: int) -> None:
+        if self.time < 0:
+            raise FaultError(f"fault time must be >= 0: {self}")
+        if self.duration <= 0:
+            raise FaultError(f"episode duration must be positive: {self}")
+        if self.factor <= 1:
+            raise FaultError(f"slow-down factor must be > 1: {self}")
+        if self.io_node is not None and not 0 <= self.io_node < n_io_nodes:
+            raise FaultError(
+                f"io_node {self.io_node} out of range [0, {n_io_nodes})"
+            )
+
+
+def _check_time(ev, n_io_nodes: int) -> None:
+    if ev.time < 0:
+        raise FaultError(f"fault time must be >= 0: {ev}")
+    if not 0 <= ev.io_node < n_io_nodes:
+        raise FaultError(
+            f"io_node {ev.io_node} out of range [0, {n_io_nodes})"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry/timeout semantics for faulted transfers.
+
+    A piece transfer that hits a down server or a lost message is
+    retried up to ``max_retries`` times with exponential backoff
+    (``backoff_base * backoff_factor**(attempt-1)``, capped at
+    ``backoff_max``); a lost message costs ``request_timeout`` before
+    the sender notices.  When retries run out the client surfaces
+    :class:`~repro.errors.RetryExhaustedError` (a ``PFSError``).
+    """
+
+    max_retries: int = 8
+    request_timeout: float = 0.5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError("max_retries must be >= 0")
+        if min(self.request_timeout, self.backoff_base) <= 0:
+            raise FaultError("timeout and backoff base must be positive")
+        if self.backoff_factor < 1 or self.backoff_max < self.backoff_base:
+            raise FaultError("invalid backoff progression")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return delay if delay < self.backoff_max else self.backoff_max
+
+
+_EVENT_TYPES = {
+    "disk_failure": DiskFailure,
+    "node_crash": NodeCrash,
+    "network_episode": NetworkEpisode,
+    "slow_down": SlowDown,
+}
+_TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events plus a retry policy."""
+
+    events: Tuple = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def validate(self, n_io_nodes: int) -> None:
+        self.retry.validate()
+        for ev in self.events:
+            if type(ev) not in _TYPE_NAMES:
+                raise FaultError(f"unknown fault event {ev!r}")
+            ev.validate(n_io_nodes)
+        # Overlap rules keep the model simple and the semantics sharp.
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        net = sorted(
+            (e.time, e.duration) for e in self.events
+            if isinstance(e, NetworkEpisode)
+        )
+        for (t0, d0), (t1, _d1) in zip(net, net[1:]):
+            if t1 < t0 + d0:
+                raise FaultError("network episodes must not overlap")
+        for windows, label in self._per_node_windows():
+            spans = sorted(windows)
+            for (t0, e0), (t1, _e1) in zip(spans, spans[1:]):
+                if t1 < e0:
+                    raise FaultError(f"overlapping {label} on one io_node")
+
+    def _per_node_windows(self):
+        # Two disk failures on one node may overlap on purpose (that is
+        # the data-loss scenario), so disk windows are not checked.
+        crashes: dict = {}
+        slows: dict = {}
+        for ev in self.events:
+            if isinstance(ev, NodeCrash):
+                end = (
+                    float("inf") if ev.restart_after is None
+                    else ev.time + ev.restart_after
+                )
+                crashes.setdefault(ev.io_node, []).append((ev.time, end))
+            elif isinstance(ev, SlowDown):
+                node = -1 if ev.io_node is None else ev.io_node
+                slows.setdefault(node, []).append(
+                    (ev.time, ev.time + ev.duration)
+                )
+        for windows in crashes.values():
+            yield windows, "crash/restart windows"
+        if -1 in slows:
+            # A machine-wide slow-down touches every array: no other
+            # slow-down may overlap it anywhere.
+            yield [w for ws in slows.values() for w in ws], "slow-down episodes"
+        else:
+            for windows in slows.values():
+                yield windows, "slow-down episodes"
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        horizon: float,
+        n_io_nodes: int,
+        classes: Sequence[str] = FAULT_CLASSES,
+        events_per_class: int = 1,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "FaultPlan":
+        """A reproducible plan drawn from ``seed``.
+
+        Fault instants are uniform over ``(0.05, 0.75) * horizon`` so
+        they land mid-run; every draw comes from a named substream, so
+        adding a class never perturbs the others.
+        """
+        from repro.sim.rng import RandomStreams
+
+        if horizon <= 0:
+            raise FaultError(f"horizon must be positive, got {horizon}")
+        streams = RandomStreams(seed=seed)
+        events = []
+        for cls_name in classes:
+            if cls_name not in FAULT_CLASSES:
+                raise FaultError(
+                    f"unknown fault class {cls_name!r}; have {FAULT_CLASSES}"
+                )
+            rng = streams.get(f"faults.{cls_name}")
+            for _ in range(events_per_class):
+                t = float(rng.uniform(0.05, 0.75)) * horizon
+                node = int(rng.integers(0, n_io_nodes))
+                span = float(rng.uniform(0.05, 0.2)) * horizon
+                if cls_name == "disk":
+                    events.append(
+                        DiskFailure(time=t, io_node=node, rebuild_after=span)
+                    )
+                elif cls_name == "crash":
+                    events.append(
+                        NodeCrash(
+                            time=t, io_node=node, restart_after=span,
+                            policy="fail",
+                        )
+                    )
+                elif cls_name == "network":
+                    events.append(
+                        NetworkEpisode(
+                            time=t, duration=min(span, 2.0), kind="loss"
+                        )
+                    )
+                else:
+                    events.append(
+                        SlowDown(
+                            time=t, duration=span, io_node=node,
+                            factor=float(rng.uniform(4.0, 12.0)),
+                        )
+                    )
+        events.sort(key=lambda e: (e.time, _TYPE_NAMES[type(e)]))
+        plan = cls(events=tuple(events), retry=retry or RetryPolicy())
+        plan.validate(n_io_nodes)
+        return plan
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "retry": asdict(self.retry),
+            "events": [
+                {"type": _TYPE_NAMES[type(ev)], **asdict(ev)}
+                for ev in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        try:
+            retry = RetryPolicy(**payload.get("retry", {}))
+            events = []
+            for item in payload.get("events", []):
+                item = dict(item)
+                kind = item.pop("type")
+                events.append(_EVENT_TYPES[kind](**item))
+        except (KeyError, TypeError) as exc:
+            raise FaultError(f"malformed fault plan: {exc}") from exc
+        return cls(events=tuple(events), retry=retry)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise FaultError(f"cannot read fault plan {path!r}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise FaultError(f"fault plan {path!r} must be a JSON object")
+        return cls.from_dict(payload)
+
+    def describe(self) -> str:
+        """One line per scheduled event, in application order."""
+        if not self.events:
+            return "(no fault events)"
+        lines = []
+        for ev in self.events:
+            lines.append(f"t={ev.time:9.3f}s  {_TYPE_NAMES[type(ev)]:16s} "
+                         + ", ".join(
+                             f"{k}={v}" for k, v in asdict(ev).items()
+                             if k != "time" and v is not None
+                         ))
+        return "\n".join(lines)

@@ -67,10 +67,19 @@ class DiskConfig:
     #: stripe-sized writes stream — is the disk-level reason the paper
     #: tells applications to match request sizes to the stripe size.
     write_rmw_penalty: float = 6.0
+    #: Degraded-mode (one member disk failed) penalties: every access
+    #: to a byte-interleaved RAID-3 array with a dead member must
+    #: reconstruct that member's data from parity on the fly, cutting
+    #: the streaming rate and lengthening positioning.  Both factors
+    #: divide/multiply the healthy-array constants while degraded.
+    degraded_transfer_penalty: float = 1.8
+    degraded_position_penalty: float = 1.3
 
     def validate(self) -> None:
         if self.write_rmw_penalty < 0:
             raise MachineError("write RMW penalty must be non-negative")
+        if self.degraded_transfer_penalty < 1 or self.degraded_position_penalty < 1:
+            raise MachineError("degraded-mode penalties must be >= 1")
         if self.capacity <= 0:
             raise MachineError("disk capacity must be positive")
         if min(self.positioning, self.sequential_overhead,

@@ -11,9 +11,10 @@ makes small *random* requests so much worse than large streaming ones
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
-from repro.errors import MachineError
+from repro.errors import DataLossError, MachineError
 from repro.machine.config import DiskConfig
 
 
@@ -40,6 +41,66 @@ class RAID3Array:
         self.busy_time = 0.0
         self.requests = 0
         self.bytes_serviced = 0
+        #: Fault state.  ``config`` is always derived from
+        #: ``_base_config`` by :meth:`_refresh_config`; while healthy
+        #: and unthrottled it *is* ``_base_config`` (same object), so
+        #: consumers keying caches on config identity re-warm cleanly.
+        self._base_config = config
+        self.degraded = False
+        self.rebuilds = 0
+        self._slow_factor = 1.0
+
+    # -- fault injection -------------------------------------------------
+    def fail_disk(self) -> None:
+        """One member disk fails: enter degraded (parity-reconstruct)
+        mode.  A second failure while degraded loses data — RAID-3
+        tolerates exactly one dead member."""
+        if self.degraded:
+            raise DataLossError(
+                f"second disk failure in degraded array {self.name}: "
+                "RAID-3 cannot reconstruct two lost members"
+            )
+        self.degraded = True
+        self._refresh_config()
+
+    def rebuild_complete(self) -> None:
+        """The failed member has been rebuilt; restore full service."""
+        if not self.degraded:
+            raise MachineError(f"array {self.name} is not degraded")
+        self.degraded = False
+        self.rebuilds += 1
+        self._refresh_config()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Temporarily multiply every service-time component by
+        ``factor`` (generalized slow-down episode)."""
+        if factor < 1:
+            raise MachineError(f"slow-down factor must be >= 1, got {factor}")
+        self._slow_factor = factor
+        self._refresh_config()
+
+    def clear_slowdown(self) -> None:
+        self._slow_factor = 1.0
+        self._refresh_config()
+
+    def _refresh_config(self) -> None:
+        base = self._base_config
+        f = self._slow_factor
+        if not self.degraded and f == 1.0:
+            self.config = base
+            return
+        position_scale = f
+        rate_divisor = f
+        if self.degraded:
+            position_scale *= base.degraded_position_penalty
+            rate_divisor *= base.degraded_transfer_penalty
+        self.config = replace(
+            base,
+            positioning=base.positioning * position_scale,
+            sequential_overhead=base.sequential_overhead * position_scale,
+            request_overhead=base.request_overhead * f,
+            transfer_rate=base.transfer_rate / rate_divisor,
+        )
 
     def is_sequential(self, offset: int) -> bool:
         """Would a request at ``offset`` be a sequential follow-on?"""

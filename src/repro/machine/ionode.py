@@ -76,6 +76,11 @@ class IONode:
         #: before any event-stepped submit so an active batched span on
         #: the server is settled back into real queue state first.
         self.settle_hook = None
+        #: Installed by the fault engine (repro.faults): a per-node
+        #: crash-state object with ``down``/``gate``.  ``None`` (the
+        #: default) means no fault engine is attached and every guard
+        #: below is a single attribute test.
+        self.faults = None
 
     @property
     def queue_length(self) -> int:
@@ -98,12 +103,25 @@ class IONode:
         hook = self.settle_hook
         if hook is not None:
             hook()
+        fs = self.faults
+        if fs is not None and fs.down:
+            # Node is down at submission: fail or stall per policy.
+            yield from fs.gate()
         req = IORequest(
             node=node, kind=kind, offset=offset, nbytes=nbytes,
             issued_at=self.env.now if issued_at is None else issued_at,
         )
-        grant = self._channel.request()
-        yield grant
+        while True:
+            grant = self._channel.request()
+            yield grant
+            fs = self.faults
+            if fs is None or not fs.down:
+                break
+            # The node crashed while this request sat in the queue:
+            # in-flight requests fail (or stall until restart) at the
+            # instant they would have reached the disk.
+            self._channel.release(grant)
+            yield from fs.gate()
         req.started_at = self.env.now
         service = self.disk.service_time(offset, nbytes, rmw=rmw)
         yield self.env.timeout(service)

@@ -24,6 +24,10 @@ class IOOp(str, Enum):
     IOMODE = "iomode"
     FLUSH = "flush"
     CLOSE = "close"
+    #: Client retry of a faulted piece transfer (repro.faults); the
+    #: record's duration is the backoff wait.  Not part of the paper's
+    #: tables (TABLE_OP_ORDER), but visible in SDDF traces.
+    RETRY = "retry"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

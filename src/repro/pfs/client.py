@@ -35,7 +35,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
 
-from repro.errors import AccessModeError, PFSError
+from repro.errors import (
+    AccessModeError,
+    MessageLostError,
+    PFSError,
+    RetryExhaustedError,
+    ServerUnavailableError,
+)
 from repro.machine.paragon import ParagonXPS
 from repro.pablo.records import IOOp
 from repro.pfs.collective import CollectiveRegistry
@@ -109,6 +115,9 @@ class PFS:
         self.metadata = PriorityResource(env, capacity=1)
         self.registry = CollectiveRegistry(env)
         self._clients: Dict[int, "PFSNodeClient"] = {}
+        #: Fault engine (repro.faults), installed by the engine itself;
+        #: ``None`` keeps every transfer on the exact healthy-run path.
+        self.faults = None
         #: Batched data path (REPRO_FAST_DATAPATH, default on); None
         #: means every transfer takes the legacy per-piece path.
         from repro.pfs.datapath import DataPath, _fast_datapath_default
@@ -754,7 +763,9 @@ class PFSNodeClient:
         pieces = state.layout.pieces(offset, nbytes)
         net = self.pfs.machine.network
         if len(pieces) == 1:
-            yield from self._piece_io(pieces[0], state, kind, cached, net)
+            err = yield from self._piece_io(pieces[0], state, kind, cached, net)
+            if err is not None:
+                raise err
             return
         procs = [
             self.env.process(
@@ -764,10 +775,26 @@ class PFSNodeClient:
             for p in pieces
         ]
         yield self.env.all_of(procs)
+        if self.pfs.faults is not None:
+            for proc in procs:
+                if proc._value is not None:
+                    raise proc._value
 
     def _piece_io(
         self, piece, state: SharedFileState, kind: str, cached: bool, net
-    ) -> Generator[object, object, None]:
+    ) -> Generator[object, object, Optional[PFSError]]:
+        """Move one stripe piece.  Never raises a transfer fault:
+        fault-layer failures come back as the *return value* (an
+        exception instance), so a multi-piece gather can complete every
+        sibling piece before the caller surfaces the first error.  On
+        the healthy path the return value is always ``None``."""
+        faults = self.pfs.faults
+        if faults is not None:
+            return (
+                yield from self._piece_io_faulted(
+                    faults, piece, state, kind, cached
+                )
+            )
         server = self.pfs.server_for(piece.io_node)
         io_pos = server.ionode.mesh_position
         if kind == "read":
@@ -787,6 +814,65 @@ class PFSNodeClient:
             )
         else:  # pragma: no cover - defensive
             raise PFSError(f"unknown data path kind {kind!r}")
+        return None
+
+    def _piece_io_faulted(
+        self, faults, piece, state: SharedFileState, kind: str, cached: bool
+    ) -> Generator[object, object, Optional[PFSError]]:
+        """One stripe piece with retry/timeout/backoff semantics.
+
+        Down-server rejections and lost messages are retried up to the
+        plan's ``max_retries`` with exponential backoff; every retry is
+        visible in the Pablo trace as an :data:`IOOp.RETRY` record
+        whose duration is the backoff wait.  Exhausted retries return
+        :class:`~repro.errors.RetryExhaustedError`.
+        """
+        server = self.pfs.server_for(piece.io_node)
+        io_pos = server.ionode.mesh_position
+        retry = faults.plan.retry
+        attempt = 0
+        while True:
+            try:
+                if kind == "read":
+                    yield from server.read_piece(
+                        self.rank, state.file_id, piece, cached=cached
+                    )
+                    yield from faults.client_send(
+                        io_pos, self.mesh_position, piece.nbytes
+                    )
+                elif kind == "write_through":
+                    yield from faults.client_send(
+                        self.mesh_position, io_pos, piece.nbytes
+                    )
+                    yield from server.write_through(
+                        self.rank, state.file_id, piece, cached=cached
+                    )
+                elif kind == "write_behind":
+                    yield from faults.client_send(
+                        self.mesh_position, io_pos, piece.nbytes
+                    )
+                    yield from server.write_behind(
+                        self.rank, state.file_id, piece, cached=cached
+                    )
+                else:  # pragma: no cover - defensive
+                    raise PFSError(f"unknown data path kind {kind!r}")
+                return None
+            except (ServerUnavailableError, MessageLostError) as exc:
+                attempt += 1
+                if attempt > retry.max_retries:
+                    return RetryExhaustedError(
+                        f"rank {self.rank} gave up on {kind} of "
+                        f"{piece.nbytes} bytes (io_node {piece.io_node}) "
+                        f"after {retry.max_retries} retries: {exc}"
+                    )
+                faults.retries += 1
+                backoff_start = self.env.now
+                yield self.env.timeout(retry.backoff(attempt))
+                self._trace(
+                    IOOp.RETRY, state.path, backoff_start,
+                    nbytes=piece.nbytes, offset=piece.file_offset,
+                    mode=state.mode_str,
+                )
 
     def __repr__(self) -> str:
         return f"<PFSNodeClient rank={self.rank} phase={self.phase!r}>"

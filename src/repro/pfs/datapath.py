@@ -83,6 +83,10 @@ class DataPath:
         self.span_pieces = 0
         self.fallback_pieces = 0
         self.revocations = 0
+        #: Fault engine, when one is attached (repro.faults).  Gates
+        #: span planning (see FaultEngine.span_ok) and switches piece
+        #: completion to failure-aware chaining.
+        self.faults = None
 
     # ------------------------------------------------------------------
     def transfer(
@@ -230,8 +234,7 @@ class DataPath:
                             name=f"{kind}-piece",
                         )
                     )
-        gate = env.all_of(waits)
-        gate.callbacks.append(lambda _ev: done.succeed())
+        self._chain(waits, done)
 
     def _launch_stepped(
         self, client, state, offset, nbytes, kind, cached, done: Event
@@ -256,25 +259,56 @@ class DataPath:
             )
             for p in pieces
         ]
-        gate = env.all_of(procs)
-        gate.callbacks.append(lambda _ev: done.succeed())
+        self._chain(procs, done)
+
+    def _chain(self, waits, done: Event) -> None:
+        """Resolve ``done`` once every wait in ``waits`` has.
+
+        With a fault engine attached, piece processes report transfer
+        faults as *return values* (never raised — see
+        ``PFSNodeClient._piece_io``), so the whole gather always
+        completes; the first piece error then fails ``done``, which the
+        waiting client process defuses and re-raises.
+        """
+        gate = self.env.all_of(waits)
+        if self.faults is None:
+            gate.callbacks.append(lambda _ev: done.succeed())
+            return
+
+        def finish(_ev) -> None:
+            for w in waits:
+                err = w._value
+                if err is not None and isinstance(err, BaseException):
+                    done.fail(err)
+                    return
+            done.succeed()
+
+        gate.callbacks.append(finish)
 
     def _fallback_piece(
         self, client, piece, state, kind, cached, done: Event
     ) -> Generator:
         """Event-stepped single-piece transfer, chained to ``done``."""
-        yield from client._piece_io(piece, state, kind, cached, self.net)
-        done.succeed()
+        err = yield from client._piece_io(piece, state, kind, cached, self.net)
+        if err is not None:
+            done.fail(err)
+        else:
+            done.succeed()
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _eligible(server: "StripeServer", kind: str, k: int) -> bool:
+    def _eligible(self, server: "StripeServer", kind: str, k: int) -> bool:
         """Whether ``server`` can be fast-forwarded analytically.
 
         Every queue the span would model must be empty and unmonitored;
         a busy resource or an attached monitor means timings (or
         samples) depend on event interleaving the plan cannot replay.
+        With a fault engine attached, a server whose fault schedule is
+        not entirely in the past is never spanned (quiet-time gating),
+        so faulted traffic is event-stepped under both datapath modes.
         """
+        faults = self.faults
+        if faults is not None and not faults.span_ok(server.ionode.index):
+            return False
         ch = server.ionode._channel
         if ch.users or ch.queue or ch.monitor is not None:
             return False
@@ -339,10 +373,13 @@ class FastSpan:
         bw = dp.bw
         disk = server.ionode.disk
         const = server._dp_const
-        if const is None or const[0] is not disk:
-            dcfg = disk.config
+        dcfg = disk.config
+        if const is None or const[0] is not dcfg:
+            # Keyed by the config *object*: degraded mode and slow-downs
+            # swap it, and a healthy unthrottled array restores the
+            # original instance, so stale rates are never served.
             const = (
-                disk,
+                dcfg,
                 dcfg.sequential_overhead,
                 dcfg.positioning,
                 dcfg.write_rmw_penalty * dcfg.positioning,

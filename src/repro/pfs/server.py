@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from repro.errors import ServerUnavailableError
 from repro.machine.ionode import IONode
 from repro.pfs.cache import BlockCache
 from repro.pfs.costs import PFSCostModel
@@ -63,8 +64,16 @@ class StripeServer:
         #: first, so the span is never observable from the outside.
         self.span = None
         #: Disk-model constants cached by the batched data path (keyed
-        #: by the disk object so a swapped disk invalidates them).
+        #: by the disk's config object so degraded/slowed-down state
+        #: invalidates them).
         self._dp_const = None
+        #: Per-node crash state installed by the fault engine
+        #: (repro.faults); ``None`` means no fault engine attached.
+        self.faults = None
+        #: Write-behind buffers destroyed by a node crash before their
+        #: drain could commit (policy "fail").
+        self.wb_lost = 0
+        self.wb_lost_bytes = 0
         ionode.settle_hook = self.settle
 
     # -- batched-datapath interop ------------------------------------------
@@ -87,6 +96,9 @@ class StripeServer:
         ``cached=False`` bypasses the block cache entirely (buffering
         disabled on the handle): every call is a real disk access.
         """
+        fs = self.faults
+        if fs is not None and fs.down:
+            yield from fs.gate()
         self.settle()
         self.reads += 1
         self.bytes_read += piece.nbytes
@@ -116,6 +128,9 @@ class StripeServer:
         reason scattered small writes are so much slower than the
         sequential small writes a single coordinator issues.
         """
+        fs = self.faults
+        if fs is not None and fs.down:
+            yield from fs.gate()
         self.settle()
         self.writes += 1
         self.bytes_written += piece.nbytes
@@ -137,6 +152,9 @@ class StripeServer:
         if not cached:
             yield from self.write_through(node, file_id, piece, cached=False)
             return
+        fs = self.faults
+        if fs is not None and fs.down:
+            yield from fs.gate()
         self.settle()
         self.writes += 1
         self.bytes_written += piece.nbytes
@@ -155,14 +173,25 @@ class StripeServer:
         key = self._block_key(piece, file_id)
         self.cache.insert(key, dirty=True)
         # Background drain: commits to disk, then frees the slot and
-        # marks the block clean.  Failures cannot occur in the model.
+        # marks the block clean.  The only modeled failure is a node
+        # crash with policy "fail", which destroys the buffered data.
         self.env.process(self._drain(node, key, piece, slot), name="wb-drain")
 
     def _drain(self, node: int, key, piece: StripePiece, slot) -> Generator:
-        yield from self.ionode.submit(
-            node, "write", piece.disk_offset, piece.nbytes,
-            rmw=self._is_substripe(piece),
-        )
+        try:
+            yield from self.ionode.submit(
+                node, "write", piece.disk_offset, piece.nbytes,
+                rmw=self._is_substripe(piece),
+            )
+        except ServerUnavailableError:
+            # The crash wiped server memory: the acknowledged data is
+            # gone.  Account the loss exactly and free the slot so the
+            # (restarted) server is not permanently throttled.
+            self.wb_lost += 1
+            self.wb_lost_bytes += piece.nbytes
+            self.cache.invalidate(key)
+            self._wb_slots.release(slot)
+            return
         self.cache.mark_clean(key)
         self._wb_slots.release(slot)
 

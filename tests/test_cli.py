@@ -67,3 +67,37 @@ def test_rates_command(capsys):
     assert main(["rates", "escat", "B", "--fast"]) == 0
     out = capsys.readouterr().out
     assert "M_RECORD" in out and "MB/s" in out
+
+
+def test_trace_unwritable_output_is_one_line_error(capsys):
+    clear_cache()
+    assert main(["trace", "escat", "A", "/no/such/dir/out.sddf",
+                 "--fast"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "Traceback" not in err
+
+
+def test_chaos_unreadable_plan_is_one_line_error(capsys):
+    assert main(["chaos", "--plan", "/no/such/plan.json"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "Traceback" not in err
+    assert "fault plan" in err
+
+
+def test_chaos_malformed_plan_is_one_line_error(tmp_path, capsys):
+    bad = tmp_path / "plan.json"
+    bad.write_text('{"events": [{"type": "warp_core_breach"}]}')
+    assert main(["chaos", "--plan", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+
+
+def test_chaos_command_smoke(capsys):
+    assert main(["chaos", "--seed", "2", "--classes", "network",
+                 "--app", "escat"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos report" in out
+    assert "fault class: network" in out
+    assert "verdict:" in out

@@ -116,6 +116,41 @@ def test_cache_lru_eviction(tmp_path, monkeypatch):
     assert cache.load(keys[2]) is not None
 
 
+def test_corrupt_cache_entries_miss_and_quarantine(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    problem = scaled_escat_problem(n_nodes=16, records_per_channel=32)
+    result = run_escat("A", problem, seed=SEED)
+
+    # Truncated trace: miss, and both files are quarantined.
+    key = cache.run_key(kind="q-trunc", problem=problem)
+    cache.store(key, result)
+    trace_path, meta_path = cache._paths(key)
+    trace_path.write_text(trace_path.read_text()[: 64])
+    assert cache.load(key) is None
+    assert not trace_path.exists() and not meta_path.exists()
+    # ... so a subsequent fetch_or_run repopulates a clean entry.
+    again = cache.fetch_or_run(key, lambda: result)
+    assert again is result
+    assert cache.load(key) is not None
+
+    # Garbage sidecar: same contract.
+    key = cache.run_key(kind="q-meta", problem=problem)
+    cache.store(key, result)
+    trace_path, meta_path = cache._paths(key)
+    meta_path.write_text("{not json")
+    assert cache.load(key) is None
+    assert not trace_path.exists() and not meta_path.exists()
+
+    # Orphaned trace with no sidecar (torn write): quarantined too.
+    key = cache.run_key(kind="q-orphan", problem=problem)
+    cache.store(key, result)
+    trace_path, meta_path = cache._paths(key)
+    meta_path.unlink()
+    assert cache.load(key) is None
+    assert not trace_path.exists()
+
+
 def test_table2_identical_across_kernels(monkeypatch):
     runner.clear_cache()
     monkeypatch.setenv("REPRO_FAST_CORE", "1")

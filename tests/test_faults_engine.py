@@ -1,0 +1,218 @@
+"""End-to-end fault-engine behaviour on real application runs.
+
+Each scenario attaches one :class:`FaultPlan` to an ESCAT run (or a
+tiny hand-built workload) and checks the *semantic* outcome: crashes
+survived via retries conserve every byte, exhausted retries surface a
+``RetryExhaustedError``, lost write-behind buffers are accounted
+exactly, and every fault class measurably perturbs the run it targets.
+"""
+
+import pytest
+
+from repro.apps import run_escat, scaled_escat_problem
+from repro.errors import RetryExhaustedError
+from repro.faults import (
+    DiskFailure,
+    FaultEngine,
+    FaultPlan,
+    NetworkEpisode,
+    NodeCrash,
+    SlowDown,
+)
+from repro.machine import MachineConfig, ParagonXPS
+from repro.pablo.records import IOOp
+from repro.pfs import PFS, AccessMode
+from repro.sim import Engine
+from repro.units import KB
+
+SEED = 1996
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    problem = scaled_escat_problem()
+    return problem, run_escat("A", problem, seed=SEED)
+
+
+def _rw_bytes(result):
+    trace = result.trace
+    return (
+        int(trace.by_op(IOOp.READ).durations().shape[0]),
+        trace.by_op(IOOp.READ).total_bytes,
+        trace.by_op(IOOp.WRITE).total_bytes,
+    )
+
+
+def test_crash_with_restart_conserves_every_byte(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(
+        NodeCrash(time=1.0, io_node=0, restart_after=2.0, policy="fail"),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.fault_summary is not None
+    assert result.fault_summary["retries"] > 0
+    assert _rw_bytes(result) == _rw_bytes(base)
+    assert result.wall_time >= base.wall_time
+
+
+def test_crash_without_restart_exhausts_retries(baseline):
+    problem, base = baseline
+    # Node 0 dies early and never comes back; the coordinator's very
+    # first reads land there, so its retry budget must run out.
+    plan = FaultPlan(events=(
+        NodeCrash(time=0.5, io_node=0, restart_after=None, policy="fail"),
+    ))
+    with pytest.raises(RetryExhaustedError):
+        run_escat("A", problem, seed=SEED, fault_plan=plan)
+
+
+def test_crash_policy_stall_completes_without_retries(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(
+        NodeCrash(time=1.0, io_node=0, restart_after=2.0, policy="stall"),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.fault_summary["retries"] == 0
+    assert _rw_bytes(result) == _rw_bytes(base)
+    assert result.wall_time >= base.wall_time
+
+
+def test_network_loss_retries_are_traced(baseline):
+    problem, base = baseline
+    # Mid-run, inside the traced energy cycles (the setup phase runs
+    # with tracing paused, so retries there would not leave records).
+    plan = FaultPlan(events=(
+        NetworkEpisode(time=base.wall_time * 0.4, duration=1.0,
+                       kind="loss"),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    summary = result.fault_summary
+    assert summary["messages_lost"] > 0
+    assert summary["retries"] > 0
+    retries = result.trace.by_op(IOOp.RETRY)
+    assert len(retries) == summary["retries"]
+    assert _rw_bytes(result) == _rw_bytes(base)
+
+
+def test_network_stall_delays_without_any_retry(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(
+        NetworkEpisode(time=1.0, duration=1.0, kind="stall"),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.fault_summary["retries"] == 0
+    assert result.fault_summary["messages_lost"] == 0
+    assert result.wall_time > base.wall_time
+    assert _rw_bytes(result) == _rw_bytes(base)
+
+
+def test_disk_failure_degrades_then_rebuilds(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(
+        DiskFailure(time=0.5, io_node=0, rebuild_after=10.0),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.wall_time > base.wall_time
+    assert result.fault_summary["degraded"] == []  # rebuilt by run end
+    applied = "\n".join(result.fault_summary["applied"])
+    assert "disk failure" in applied and "rebuild complete" in applied
+    assert _rw_bytes(result) == _rw_bytes(base)
+
+
+def test_permanent_disk_failure_stays_degraded(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(DiskFailure(time=0.5, io_node=3),))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.fault_summary["degraded"] == [3]
+    assert _rw_bytes(result) == _rw_bytes(base)
+
+
+def test_global_slowdown_stretches_the_run(baseline):
+    problem, base = baseline
+    plan = FaultPlan(events=(
+        SlowDown(time=0.1, duration=60.0, io_node=None, factor=10.0),
+    ))
+    result = run_escat("A", problem, seed=SEED, fault_plan=plan)
+    assert result.wall_time > base.wall_time * 1.2
+    assert _rw_bytes(result) == _rw_bytes(base)
+
+
+def _wb_world():
+    eng = Engine()
+    machine = ParagonXPS(eng, MachineConfig(
+        mesh_cols=4, mesh_rows=4, n_compute_nodes=16, n_io_nodes=1,
+    ))
+    pfs = PFS(eng, machine)
+    return eng, machine, pfs
+
+
+def _wb_writer(pfs, n_writes=50, nbytes=4 * KB):
+    # Scattered sub-stripe writes: the acks are cheap cache copies but
+    # every drain pays full positioning plus the RAID-3 parity
+    # read-modify-write, so drains trail the last ack by seconds.
+    cli = pfs.client(0)
+    handle = yield from cli.open("/pfs/wb-loss")
+    yield from cli.setiomode(handle, AccessMode.M_ASYNC, group=[0])
+    from repro.units import MB
+
+    for i in range(n_writes):
+        yield from cli.seek(handle, i * MB)
+        yield from cli.write(handle, nbytes)
+    return pfs.env.now
+
+
+def test_node_crash_destroys_undrained_write_behind_buffers():
+    # Pilot run (healthy) to find the window where all client writes
+    # are acknowledged but drains are still committing to disk.
+    eng, machine, pfs = _wb_world()
+    proc = eng.process(_wb_writer(pfs))
+    eng.run(until=proc)
+    t_acked = proc.value
+    eng.run()  # let the drains finish
+    t_drained = eng.now
+    assert t_drained > t_acked
+
+    crash_at = (t_acked + t_drained) / 2.0
+    eng, machine, pfs = _wb_world()
+    plan = FaultPlan(events=(
+        NodeCrash(time=crash_at, io_node=0, restart_after=None,
+                  policy="fail"),
+    ))
+    faults = FaultEngine(eng, machine, pfs, plan)
+    proc = eng.process(_wb_writer(pfs))
+    eng.run(until=proc)
+    eng.run()  # drains now hit the dead node
+    summary = faults.summary()
+    assert summary["wb_lost"] > 0
+    assert summary["wb_lost_bytes"] == summary["wb_lost"] * 4 * KB
+
+
+def test_fault_plan_validation_rejects_bad_schedules():
+    from repro.errors import FaultError
+
+    with pytest.raises(FaultError):
+        FaultPlan(events=(NodeCrash(time=1.0, io_node=99),)).validate(16)
+    with pytest.raises(FaultError):
+        FaultPlan(events=(
+            NodeCrash(time=1.0, io_node=0, policy="stall"),
+        )).validate(16)
+    with pytest.raises(FaultError):
+        FaultPlan(events=(
+            NetworkEpisode(time=1.0, duration=2.0),
+            NetworkEpisode(time=2.0, duration=1.0),
+        )).validate(16)
+    with pytest.raises(FaultError):
+        FaultPlan(events=(
+            NodeCrash(time=1.0, io_node=0, restart_after=5.0),
+            NodeCrash(time=3.0, io_node=0, restart_after=1.0),
+        )).validate(16)
+
+
+def test_fault_plan_json_round_trip(tmp_path):
+    plan = FaultPlan.seeded(seed=7, horizon=60.0, n_io_nodes=16)
+    path = tmp_path / "plan.json"
+    import json
+
+    path.write_text(json.dumps(plan.to_dict()))
+    loaded = FaultPlan.from_file(str(path))
+    assert loaded == plan

@@ -1,0 +1,130 @@
+"""RAID-3 degraded-mode math and array fault-state transitions.
+
+A single member failure puts the array in parity-reconstruct mode:
+every access pays the degraded penalties (RAID-3 is byte-interleaved,
+so reconstruction engages the whole array regardless of direction).  A
+rebuild restores full-service pricing — and the *original* config
+object, so identity-keyed caches re-warm.  A second failure while
+degraded is modeled data loss.
+"""
+
+import pytest
+
+from repro.errors import DataLossError, MachineError
+from repro.machine import DiskConfig
+from repro.machine.disk import RAID3Array
+from repro.units import KB
+
+
+def _fresh(**overrides):
+    return RAID3Array(DiskConfig(**overrides))
+
+
+def test_degraded_random_access_pays_configured_penalties():
+    cfg = DiskConfig()
+    disk = _fresh()
+    disk.fail_disk()
+    got = disk.service_time(0, 64 * KB)
+    expected = (
+        cfg.request_overhead
+        + cfg.positioning * cfg.degraded_position_penalty
+        + 64 * KB / (cfg.transfer_rate / cfg.degraded_transfer_penalty)
+    )
+    assert got == pytest.approx(expected, rel=1e-12)
+
+
+def test_degraded_sequential_access_still_cheaper_than_random():
+    disk = _fresh()
+    disk.fail_disk()
+    t_random = disk.service_time(0, 64 * KB)
+    t_seq = disk.service_time(64 * KB, 64 * KB)
+    assert t_seq < t_random
+    cfg = disk.config
+    expected_seq = (
+        cfg.request_overhead + cfg.sequential_overhead + 64 * KB
+        / cfg.transfer_rate
+    )
+    assert t_seq == pytest.approx(expected_seq, rel=1e-12)
+
+
+def test_degraded_mode_slows_reads_and_writes_alike():
+    healthy = _fresh()
+    degraded = _fresh()
+    degraded.fail_disk()
+    for rmw in (False, True):
+        t_h = healthy.service_time(0, 16 * KB, rmw=rmw)
+        t_d = degraded.service_time(0, 16 * KB, rmw=rmw)
+        assert t_d > t_h
+        healthy.reset_position()
+        degraded.reset_position()
+
+
+def test_plan_batch_matches_service_time_while_degraded():
+    pieces = [(0, 64 * KB, False), (64 * KB, 64 * KB, False),
+              (512 * KB, 4 * KB, True)]
+    planner = _fresh()
+    planner.fail_disk()
+    stepper = _fresh()
+    stepper.fail_disk()
+    planned = planner.plan_batch(pieces)
+    stepped = [stepper.service_time(o, n, rmw=r) for o, n, r in pieces]
+    assert planned == stepped
+
+
+def test_rebuild_restores_base_config_object_identity():
+    disk = _fresh()
+    base = disk.config
+    disk.fail_disk()
+    assert disk.config is not base
+    assert disk.degraded
+    disk.rebuild_complete()
+    assert disk.config is base  # identity-keyed caches re-warm
+    assert not disk.degraded
+    assert disk.rebuilds == 1
+
+
+def test_second_failure_while_degraded_is_data_loss():
+    disk = _fresh()
+    disk.fail_disk()
+    with pytest.raises(DataLossError):
+        disk.fail_disk()
+
+
+def test_rebuild_of_healthy_array_rejected():
+    with pytest.raises(MachineError):
+        _fresh().rebuild_complete()
+
+
+def test_slowdown_scales_service_and_clears_cleanly():
+    disk = _fresh()
+    base = disk.config
+    t_healthy = disk.service_time(0, 64 * KB)
+    disk.reset_position()
+    disk.set_slowdown(10.0)
+    t_slow = disk.service_time(0, 64 * KB)
+    assert t_slow == pytest.approx(t_healthy * 10.0, rel=1e-12)
+    disk.clear_slowdown()
+    assert disk.config is base
+    disk.reset_position()
+    assert disk.service_time(0, 64 * KB) == pytest.approx(t_healthy)
+
+
+def test_slowdown_composes_with_degraded_mode():
+    disk = _fresh()
+    disk.fail_disk()
+    t_degraded = disk.service_time(0, 64 * KB)
+    disk.reset_position()
+    disk.set_slowdown(4.0)
+    t_both = disk.service_time(0, 64 * KB)
+    assert t_both == pytest.approx(t_degraded * 4.0, rel=1e-12)
+    disk.clear_slowdown()
+    assert disk.degraded  # slow-down end must not heal the array
+
+
+def test_invalid_fault_parameters_rejected():
+    with pytest.raises(MachineError):
+        _fresh().set_slowdown(0.5)
+    with pytest.raises(MachineError):
+        DiskConfig(degraded_transfer_penalty=0.9).validate()
+    with pytest.raises(MachineError):
+        DiskConfig(degraded_position_penalty=0.0).validate()
