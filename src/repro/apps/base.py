@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional, Sequence
 
+from repro import telemetry
 from repro.errors import WorkloadError
 from repro.machine import MachineConfig, ParagonXPS
 from repro.pablo import Trace, TraceMeta, Tracer
@@ -82,6 +84,10 @@ class AppRunResult:
     #: Fault-engine counters (repro.faults), when the run was executed
     #: under a fault plan; ``None`` for healthy runs.
     fault_summary: Optional[dict] = None
+    #: Telemetry snapshot (repro.telemetry), when telemetry was enabled
+    #: for the run.  Not persisted by the run cache: ``repro metrics``
+    #: always executes a fresh, instrumented simulation.
+    telemetry: Optional[dict] = None
 
     @property
     def io_node_seconds(self) -> float:
@@ -133,20 +139,33 @@ def run_application(
 
         faults = FaultEngine(env, machine, pfs, fault_plan)
     ctx = AppContext(env, machine, pfs, tracer, n_nodes, streams)
+    run_telemetry = None
+    if telemetry.enabled():
+        run_telemetry = telemetry.RunTelemetry(env, machine, pfs, faults)
     procs = [
         env.process(rank_process(ctx, rank), name=f"{application}.{rank}")
         for rank in ctx.ranks
     ]
-    env.run(until=env.all_of(procs))
+    if run_telemetry is None:
+        env.run(until=env.all_of(procs))
+    else:
+        wall_start = time.perf_counter()
+        env.run(until=env.all_of(procs))
+        run_telemetry.wall_seconds = time.perf_counter() - wall_start
     wall = env.now
+    trace = tracer.finish()
     return AppRunResult(
         application=application,
         version=version,
         dataset=dataset,
         n_nodes=n_nodes,
-        trace=tracer.finish(),
+        trace=trace,
         wall_time=wall,
         fault_summary=None if faults is None else faults.summary(),
+        telemetry=(
+            None if run_telemetry is None
+            else run_telemetry.snapshot(trace=trace)
+        ),
     )
 
 

@@ -16,8 +16,19 @@ Subcommands
     Run an application version and dump its Pablo trace as SDDF.
 ``repro counters <app> <version> [--top N] [--fast]``
     Darshan-style per-file counter report for an application run.
-``repro bench [--quick] [--output PATH]``
+``repro bench [--quick] [--output PATH] [--check]``
     Run the fast-core performance suite (emits BENCH_core.json).
+    ``--check`` compares the fresh run against the committed
+    ``BENCH_*.json`` baselines and exits non-zero on a >15%
+    regression in any in-run speedup ratio.
+``repro metrics <app> <version> [--fast] [--top N] [--json PATH]``
+    Run one application fresh with telemetry enabled and print the
+    run's observability summary (busiest servers/disks, cache
+    effectiveness, fault counters); optionally export the snapshot
+    as JSON or OpenMetrics text.
+``repro cache stats|clear``
+    Inspect (entry count, footprint, hit/miss/evict/quarantine
+    counters) or empty the on-disk run cache.
 ``repro chaos [--seed N] [--app escat|prism|both] [--classes LIST] [--plan FILE]``
     Re-run the version progression under fault injection and report
     which paper-level conclusions survive which fault classes.
@@ -93,15 +104,112 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if output and not os.path.isdir(out_dir):
             # Fail before spending half a minute benchmarking.
             raise ReproError(f"output directory does not exist: {out_dir}")
+    baselines = {}
+    if args.check:
+        # Load baselines *before* the fresh reports overwrite them:
+        # the default output paths are the committed baseline paths.
+        baselines["core"] = perfbench.load_report(args.baseline)
+        if args.datapath_output:
+            baselines["datapath"] = perfbench.load_report(
+                args.datapath_baseline
+            )
     payload = perfbench.run_suite(quick=args.quick)
     perfbench.write_report(payload, args.output)
     print(perfbench.render(payload))
     print(f"wrote {args.output}")
+    dp_payload = None
     if args.datapath_output:
         dp_payload = perfbench.run_datapath_suite(quick=args.quick)
         perfbench.write_report(dp_payload, args.datapath_output)
         print(perfbench.render_datapath(dp_payload))
         print(f"wrote {args.datapath_output}")
+    if not args.check:
+        return 0
+    regressed = False
+    for current, baseline in (
+        (payload, baselines.get("core")),
+        (dp_payload, baselines.get("datapath")),
+    ):
+        if current is None or baseline is None:
+            continue
+        report = perfbench.check_regressions(current, baseline)
+        print(perfbench.render_check(report))
+        regressed = regressed or report["regressed"]
+    return 1 if regressed else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.apps import (
+        ETHYLENE,
+        PRISM_TEST,
+        run_escat,
+        run_prism,
+        scaled_escat_problem,
+        scaled_prism_problem,
+    )
+
+    # Telemetry lives only on fresh runs (cached entries carry the
+    # trace, not the instrument state), so this always re-simulates.
+    telemetry.set_enabled(True)
+    if args.resolution is not None:
+        telemetry.set_sample_resolution(args.resolution)
+    try:
+        if args.app == "escat":
+            problem = (
+                scaled_escat_problem(n_nodes=16, records_per_channel=32)
+                if args.fast else ETHYLENE
+            )
+            result = run_escat(args.version, problem, seed=args.seed)
+        else:
+            problem = scaled_prism_problem() if args.fast else PRISM_TEST
+            result = run_prism(args.version, problem, seed=args.seed)
+    finally:
+        telemetry.set_enabled(None)
+        telemetry.set_sample_resolution(None)
+    snapshot = result.telemetry
+    print(f"{result.application} {result.version} ({result.dataset})")
+    print(telemetry.render_summary(snapshot, top=args.top))
+    if args.json:
+        telemetry.write_json(snapshot, args.json)
+        print(f"wrote {args.json}")
+    if args.openmetrics:
+        telemetry.write_openmetrics(snapshot, args.openmetrics)
+        print(f"wrote {args.openmetrics}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments import cache
+
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} files from {cache.cache_dir()}")
+        return 0
+    st = cache.stats()
+    state = "enabled" if st["enabled"] else "disabled (REPRO_CACHE=0)"
+    print(f"run cache at {st['dir']} ({state})")
+    cap = (
+        f"{st['max_bytes'] / 1024**2:.0f} MiB cap" if st["max_bytes"] > 0
+        else "uncapped"
+    )
+    print(
+        f"  entries: {st['entries']} "
+        f"({st['bytes'] / 1024**2:.1f} MiB, {cap})"
+    )
+    for title, counters in (
+        ("since creation", st["since_creation"]),
+        ("this process", st["session"]),
+    ):
+        lookups = counters["hits"] + counters["misses"]
+        rate = 100.0 * counters["hits"] / lookups if lookups else 0.0
+        print(
+            f"  {title}: {counters['hits']} hits / "
+            f"{counters['misses']} misses ({rate:.1f}%), "
+            f"{counters['stores']} stores, "
+            f"{counters['evictions']} evictions, "
+            f"{counters['quarantined']} quarantined"
+        )
     return 0
 
 
@@ -260,7 +368,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_core.json")
     p.add_argument("--datapath-output", default="BENCH_datapath.json",
                    help="data-path report path (empty string skips it)")
+    p.add_argument("--check", action="store_true",
+                   help="compare against committed baselines; exit 1 "
+                        "on a >15%% speedup-ratio regression")
+    p.add_argument("--baseline", default="BENCH_core.json",
+                   help="core baseline report for --check")
+    p.add_argument("--datapath-baseline", default="BENCH_datapath.json",
+                   help="data-path baseline report for --check")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run one application with telemetry and print the summary",
+    )
+    p.add_argument("app", choices=["escat", "prism"])
+    p.add_argument("version", choices=["A", "B", "C"])
+    p.add_argument("--fast", action="store_true",
+                   help="scaled-down problem instead of the paper's")
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--top", type=int, default=5, metavar="N",
+                   help="how many busiest servers to list (default 5)")
+    p.add_argument("--resolution", type=float, default=None, metavar="S",
+                   help="sampler grid in simulated seconds (default 1.0)")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="also write the full snapshot as JSON")
+    p.add_argument("--openmetrics", default="", metavar="PATH",
+                   help="also write the metrics in OpenMetrics text")
+    p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser("cache", help="inspect or empty the run cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    q = cache_sub.add_parser("stats", help="entry count, footprint, "
+                                           "hit/miss/evict counters")
+    q.set_defaults(fn=_cmd_cache)
+    q = cache_sub.add_parser("clear", help="delete every cached entry")
+    q.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
         "chaos",

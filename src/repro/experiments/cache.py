@@ -53,6 +53,98 @@ CACHE_EPOCH = 1
 #: Default size cap for the on-disk run cache (2 GiB).
 DEFAULT_CACHE_MAX_BYTES = 2 * 1024**3
 
+#: Name of the statistics sidecar at the cache root.  It is *not* an
+#: entry: the eviction and stats scans skip it by name.
+STATS_NAME = "STATS.json"
+
+#: Counter keys tracked both in-process and in the sidecar.
+_STAT_KEYS = ("hits", "misses", "stores", "evictions", "quarantined")
+
+#: In-process (this session) counters, mirrored into the sidecar.
+_SESSION = {key: 0 for key in _STAT_KEYS}
+
+
+def session_stats() -> dict:
+    """Run-cache activity counters for this process."""
+    return dict(_SESSION)
+
+
+def _stats_path() -> Path:
+    return cache_dir() / STATS_NAME
+
+
+def _bump(**deltas: int) -> None:
+    """Add ``deltas`` to the session counters and the persistent
+    sidecar.  Best-effort and race-tolerant: a torn or concurrent
+    update can lose increments but never corrupts the cache itself."""
+    for key, delta in deltas.items():
+        _SESSION[key] += delta
+    if not cache_enabled():
+        return
+    path = _stats_path()
+    try:
+        try:
+            totals = json.loads(path.read_text())
+            if not isinstance(totals, dict):
+                totals = {}
+        except (OSError, ValueError):
+            totals = {}
+        for key in _STAT_KEYS:
+            current = totals.get(key)
+            if not isinstance(current, int):
+                current = 0
+            totals[key] = current + deltas.get(key, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(path, lambda f: json.dump(totals, f))
+    except OSError:
+        pass
+
+
+def persistent_stats() -> dict:
+    """Since-creation counters from the sidecar (zeros if absent)."""
+    try:
+        totals = json.loads(_stats_path().read_text())
+        if not isinstance(totals, dict):
+            totals = {}
+    except (OSError, ValueError):
+        totals = {}
+    return {
+        key: totals.get(key, 0) if isinstance(totals.get(key, 0), int)
+        else 0
+        for key in _STAT_KEYS
+    }
+
+
+def stats() -> dict:
+    """Everything ``repro cache stats`` prints: current entry count
+    and footprint, plus the since-creation sidecar counters and the
+    this-process session counters."""
+    root = cache_dir()
+    entries = 0
+    total_bytes = 0
+    if root.exists():
+        for meta_path in root.rglob("*.json"):
+            if meta_path.name == STATS_NAME:
+                continue
+            try:
+                size = meta_path.stat().st_size
+                trace_path = meta_path.with_suffix(".sddf")
+                if trace_path.exists():
+                    size += trace_path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += size
+    return {
+        "dir": str(root),
+        "enabled": cache_enabled(),
+        "entries": entries,
+        "bytes": total_bytes,
+        "max_bytes": cache_max_bytes(),
+        "since_creation": persistent_stats(),
+        "session": session_stats(),
+    }
+
 
 def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
@@ -135,7 +227,11 @@ def load(key: str) -> Optional[AppRunResult]:
     if not meta_path.exists():
         # No commit marker: a plain miss, or a torn write that left an
         # orphaned trace behind.  Quarantine the orphan.
-        _quarantine(trace_path, meta_path)
+        if trace_path.exists():
+            _quarantine(trace_path, meta_path)
+            _bump(misses=1, quarantined=1)
+        else:
+            _bump(misses=1)
         return None
     try:
         meta = json.loads(meta_path.read_text())
@@ -152,6 +248,7 @@ def load(key: str) -> Optional[AppRunResult]:
             os.utime(meta_path)  # refresh LRU recency on hit
         except OSError:
             pass
+        _bump(hits=1)
         return AppRunResult(
             application=meta["application"],
             version=meta["version"],
@@ -164,6 +261,7 @@ def load(key: str) -> Optional[AppRunResult]:
         # Corrupt or truncated entry (whatever the failure mode — a
         # cache defect must never crash an experiment run): miss.
         _quarantine(trace_path, meta_path)
+        _bump(misses=1, quarantined=1)
         return None
 
 
@@ -196,6 +294,7 @@ def store(key: str, result: AppRunResult) -> None:
         _atomic_write(meta_path, lambda f: json.dump(meta, f))
     except OSError:
         return
+    _bump(stores=1)
     evict(keep_key=key)
 
 
@@ -218,6 +317,8 @@ def evict(keep_key: str = "") -> int:
     entries = []
     total = 0
     for meta_path in root.rglob("*.json"):
+        if meta_path.name == STATS_NAME:
+            continue
         trace_path = meta_path.with_suffix(".sddf")
         try:
             stat = meta_path.stat()
@@ -248,6 +349,8 @@ def evict(keep_key: str = "") -> int:
             pass
         total -= size
         removed += 1
+    if removed:
+        _bump(evictions=removed)
     return removed
 
 

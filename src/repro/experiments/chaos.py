@@ -130,11 +130,24 @@ class ChaosReport:
                 if cell.completed:
                     base = self.baseline_walls[cell.version]
                     summ = cell.fault_summary or {}
+                    retries = summ.get("retries", 0)
+                    per_class = summ.get("retries_by_class") or {}
+                    split = ", ".join(
+                        f"{cls} {per_class[cls]}"
+                        for cls in sorted(per_class)
+                        if per_class[cls]
+                    )
+                    retry_text = f"retries {retries}"
+                    if split:
+                        retry_text += f" ({split})"
+                    backoff = summ.get("backoff_s", 0.0)
+                    if backoff:
+                        retry_text += f" backoff {backoff:.3f}s"
                     lines.append(
                         f"   {cell.version}: completed  wall "
                         f"{cell.wall_time:9.3f}s ({cell.wall_time - base:+8.3f}s"
                         f" vs healthy)  cdf drift {cell.cdf_drift:6.1%}  "
-                        f"retries {summ.get('retries', 0)} "
+                        f"{retry_text} "
                         f"lost {summ.get('messages_lost', 0)} "
                         f"wb_lost {summ.get('wb_lost', 0)}"
                     )

@@ -545,3 +545,139 @@ def write_report(payload: Dict, path: str) -> None:
     with open(path, "w") as stream:
         json.dump(payload, stream, indent=2, sort_keys=False)
         stream.write("\n")
+
+
+# -- regression gate (`repro bench --check`) ---------------------------------
+
+#: Fractional drop below the committed baseline that fails the gate.
+REGRESSION_THRESHOLD = 0.15
+
+#: Metrics compared by the gate, per suite kind.  Only *in-run speedup
+#: ratios* (fast vs legacy measured back-to-back in the same process)
+#: are compared: absolute event rates and wall times track the host
+#: machine, ratios track the code.  ``scale_sensitive`` metrics are
+#: skipped when the current and baseline reports used different
+#: ``--quick`` settings (different problem scales shift the ratio for
+#: reasons that are not regressions).
+_CHECK_METRICS = {
+    "repro fast simulation core": (
+        ("engine.speedup", ("engine", "speedup"), False),
+        (
+            "engine_process_driven.speedup",
+            ("engine_process_driven", "speedup"),
+            False,
+        ),
+    ),
+    "repro batched PFS data path": (
+        # Vectorized decomposition speedup amortizes over batch size,
+        # so it shifts with problem scale: only compare like-for-like.
+        ("decomposition.speedup", ("decomposition", "speedup"), True),
+        ("server.speedup", ("server", "speedup"), False),
+        (
+            "end_to_end.speedup_vs_legacy_datapath",
+            ("end_to_end", "speedup_vs_legacy_datapath"),
+            True,
+        ),
+    ),
+}
+
+
+def load_report(path: str) -> Dict:
+    """Parse a committed ``BENCH_*.json`` baseline."""
+    from repro.errors import ReproError
+
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read bench baseline {path}: {exc}")
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise ReproError(f"{path} is not a bench report")
+    return payload
+
+
+def _dig(payload: Dict, path) -> object:
+    value: object = payload
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def check_regressions(
+    current: Dict, baseline: Dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict:
+    """Compare a fresh suite payload against a committed baseline.
+
+    Returns a report dict whose ``regressed`` flag is True when any
+    compared metric dropped more than ``threshold`` below baseline.
+    """
+    from repro.errors import ReproError
+
+    kind = current.get("benchmark")
+    if kind != baseline.get("benchmark"):
+        raise ReproError(
+            f"suite mismatch: current is {kind!r}, "
+            f"baseline is {baseline.get('benchmark')!r}"
+        )
+    scale_match = bool(current.get("quick")) == bool(baseline.get("quick"))
+    rows = []
+    for label, path, scale_sensitive in _CHECK_METRICS.get(kind, ()):
+        base_v = _dig(baseline, path)
+        cur_v = _dig(current, path)
+        if scale_sensitive and not scale_match:
+            rows.append({
+                "metric": label, "skipped": "scale mismatch",
+                "baseline": base_v, "current": cur_v,
+            })
+            continue
+        if not isinstance(base_v, (int, float)) or base_v <= 0 \
+                or not isinstance(cur_v, (int, float)):
+            rows.append({
+                "metric": label, "skipped": "missing in report",
+                "baseline": base_v, "current": cur_v,
+            })
+            continue
+        ratio = cur_v / base_v
+        rows.append({
+            "metric": label,
+            "baseline": base_v,
+            "current": cur_v,
+            "ratio": round(ratio, 3),
+            "regressed": ratio < 1.0 - threshold,
+        })
+    return {
+        "benchmark": kind,
+        "threshold": threshold,
+        "metrics": rows,
+        "compared": sum(1 for r in rows if "ratio" in r),
+        "regressed": any(r.get("regressed") for r in rows),
+    }
+
+
+def render_check(report: Dict) -> str:
+    """One line per compared metric, plus the verdict."""
+    lines = [
+        f"perf gate for {report['benchmark']} "
+        f"(fail below {100 * (1 - report['threshold']):.0f}% of baseline)"
+    ]
+    for row in report["metrics"]:
+        if "skipped" in row:
+            lines.append(
+                f"  {row['metric']:42s} skipped ({row['skipped']})"
+            )
+            continue
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {row['metric']:42s} baseline {row['baseline']:>7.2f}"
+            f"  current {row['current']:>7.2f}"
+            f"  ({100 * row['ratio']:.0f}%)  {verdict}"
+        )
+    lines.append(
+        "verdict: "
+        + ("REGRESSION detected" if report["regressed"]
+           else f"ok ({report['compared']} metrics within threshold)")
+    )
+    return "\n".join(lines)

@@ -86,6 +86,23 @@ class FaultEngine:
         self.retries = 0
         self.messages_lost = 0
         self.applied: List[str] = []
+        #: Per-class breakdowns (classes: disk, crash, network,
+        #: slowdown).  Retries are classified by the exception that
+        #: triggered them: a lost message is a network retry, a
+        #: server-unavailable failure is a crash retry.
+        self.applied_by_class = {
+            "disk": 0, "crash": 0, "network": 0, "slowdown": 0,
+        }
+        self.retries_by_class = {
+            "disk": 0, "crash": 0, "network": 0, "slowdown": 0,
+        }
+        self.backoff_by_class = {
+            "disk": 0.0, "crash": 0.0, "network": 0.0, "slowdown": 0.0,
+        }
+        self.backoff_s = 0.0
+        #: Degraded-mode (RAID-3 parity-reconstruct) time per I/O node.
+        self._degraded_since: dict = {}
+        self.degraded_s = 0.0
         #: Current machine-wide network episode (None | "loss" | "stall").
         self._net_kind: Optional[str] = None
         self._net_resume: Optional[Event] = None
@@ -150,12 +167,16 @@ class FaultEngine:
     # -- fault application ------------------------------------------------
     def _apply(self, ev) -> None:
         if isinstance(ev, DiskFailure):
+            self.applied_by_class["disk"] += 1
             self._apply_disk_failure(ev)
         elif isinstance(ev, NodeCrash):
+            self.applied_by_class["crash"] += 1
             self._apply_crash(ev)
         elif isinstance(ev, NetworkEpisode):
+            self.applied_by_class["network"] += 1
             self._apply_network(ev)
         else:
+            self.applied_by_class["slowdown"] += 1
             self._apply_slowdown(ev)
 
     def _apply_disk_failure(self, ev: DiskFailure) -> None:
@@ -163,6 +184,7 @@ class FaultEngine:
         server.settle()
         disk = server.ionode.disk
         disk.fail_disk()
+        self._degraded_since[ev.io_node] = self.env.now
         self._log(f"disk failure io_node={ev.io_node} (degraded mode)")
         if ev.rebuild_after is not None:
             self._schedule(
@@ -173,6 +195,9 @@ class FaultEngine:
         server = self.pfs.servers[io_node]
         server.settle()
         server.ionode.disk.rebuild_complete()
+        started = self._degraded_since.pop(io_node, None)
+        if started is not None:
+            self.degraded_s += self.env.now - started
         self._log(f"rebuild complete io_node={io_node}")
 
     def _apply_crash(self, ev: NodeCrash) -> None:
@@ -268,16 +293,36 @@ class FaultEngine:
             f"message {src}->{dst} ({nbytes} bytes) lost in transit"
         )
 
+    # -- retry accounting --------------------------------------------------
+    def record_retry(self, exc: BaseException, backoff: float) -> None:
+        """Account one client retry about to back off for ``backoff``
+        seconds, classified by the failure that caused it."""
+        cls = "network" if isinstance(exc, MessageLostError) else "crash"
+        self.retries += 1
+        self.retries_by_class[cls] += 1
+        self.backoff_by_class[cls] += backoff
+        self.backoff_s += backoff
+
     # -- run summary -------------------------------------------------------
     def summary(self) -> dict:
         servers = self.pfs.servers
+        # Fold still-open degraded intervals up to "now" without
+        # consuming them (summary() may be called more than once).
+        degraded_s = self.degraded_s + sum(
+            self.env.now - since for since in self._degraded_since.values()
+        )
         return {
             "retries": self.retries,
+            "retries_by_class": dict(self.retries_by_class),
+            "backoff_s": self.backoff_s,
+            "backoff_by_class": dict(self.backoff_by_class),
             "messages_lost": self.messages_lost,
             "wb_lost": sum(s.wb_lost for s in servers),
             "wb_lost_bytes": sum(s.wb_lost_bytes for s in servers),
             "degraded": [
                 s.ionode.index for s in servers if s.ionode.disk.degraded
             ],
+            "degraded_s": degraded_s,
             "applied": list(self.applied),
+            "applied_by_class": dict(self.applied_by_class),
         }

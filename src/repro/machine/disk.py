@@ -41,6 +41,11 @@ class RAID3Array:
         self.busy_time = 0.0
         self.requests = 0
         self.bytes_serviced = 0
+        #: Busy-time split: positioning (seek/settle/parity RMW) vs
+        #: streaming transfer.  ``busy_time - position_time -
+        #: transfer_time`` is the per-request overhead component.
+        self.position_time = 0.0
+        self.transfer_time = 0.0
         #: Fault state.  ``config`` is always derived from
         #: ``_base_config`` by :meth:`_refresh_config`; while healthy
         #: and unthrottled it *is* ``_base_config`` (same object), so
@@ -130,9 +135,12 @@ class RAID3Array:
             position = cfg.positioning
             if rmw:
                 position += cfg.write_rmw_penalty * cfg.positioning
-        duration = cfg.request_overhead + position + nbytes / cfg.transfer_rate
+        transfer = nbytes / cfg.transfer_rate
+        duration = cfg.request_overhead + position + transfer
         self._next_offset = offset + nbytes
         self.busy_time += duration
+        self.position_time += position
+        self.transfer_time += transfer
         self.requests += 1
         self.bytes_serviced += nbytes
         return duration
@@ -173,6 +181,13 @@ class RAID3Array:
         """Apply the state effects of one request priced by :meth:`plan_batch`."""
         self._next_offset = offset + nbytes
         self.busy_time += duration
+        # Recover the plan_batch split: spans only run while the config
+        # is stable, so the rate/overhead here are the ones that priced
+        # ``duration`` and the subtraction is exact (up to float ulp).
+        cfg = self.config
+        transfer = nbytes / cfg.transfer_rate
+        self.position_time += duration - transfer - cfg.request_overhead
+        self.transfer_time += transfer
         self.requests += 1
         self.bytes_serviced += nbytes
 

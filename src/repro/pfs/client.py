@@ -865,9 +865,10 @@ class PFSNodeClient:
                         f"{piece.nbytes} bytes (io_node {piece.io_node}) "
                         f"after {retry.max_retries} retries: {exc}"
                     )
-                faults.retries += 1
+                delay = retry.backoff(attempt)
+                faults.record_retry(exc, delay)
                 backoff_start = self.env.now
-                yield self.env.timeout(retry.backoff(attempt))
+                yield self.env.timeout(delay)
                 self._trace(
                     IOOp.RETRY, state.path, backoff_start,
                     nbytes=piece.nbytes, offset=piece.file_offset,

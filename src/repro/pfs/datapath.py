@@ -83,6 +83,9 @@ class DataPath:
         self.span_pieces = 0
         self.fallback_pieces = 0
         self.revocations = 0
+        #: Byte split between the two execution strategies (telemetry).
+        self.span_bytes = 0
+        self.fallback_bytes = 0
         #: Fault engine, when one is attached (repro.faults).  Gates
         #: span planning (see FaultEngine.span_ok) and switches piece
         #: completion to failure-aware chaining.
@@ -166,8 +169,10 @@ class DataPath:
                 )
                 self.spans += 1
                 self.span_pieces += 1
+                self.span_bytes += nbytes
             else:
                 self.fallback_pieces += 1
+                self.fallback_bytes += nbytes
                 piece = StripePiece(srv, doff, offset, nbytes)
                 env.process(
                     self._fallback_piece(
@@ -222,8 +227,10 @@ class DataPath:
                 waits.append(span.client_event)
                 self.spans += 1
                 self.span_pieces += len(g_ns)
+                self.span_bytes += sum(g_ns)
             else:
                 self.fallback_pieces += len(g_ns)
+                self.fallback_bytes += sum(g_ns)
                 for doff, foff, n in zip(g_doffs, g_foffs, g_ns):
                     piece = StripePiece(srv, doff, foff, n)
                     waits.append(
@@ -244,6 +251,7 @@ class DataPath:
         env = self.env
         pieces = state.layout.pieces(offset, nbytes)
         self.fallback_pieces += len(pieces)
+        self.fallback_bytes += nbytes
         if len(pieces) == 1:
             env.process(
                 self._fallback_piece(
@@ -615,6 +623,8 @@ class FastSpan:
             ion.total_queue_delay += e[3] - e[2]
             ion.total_service += e[0] - e[3]
             server.cache.mark_clean(e[4])
+            server.wb_drained += 1
+            server.wb_drain_wait += e[0] - e[2]
 
     # -- revocation ------------------------------------------------------
     def revoke(self) -> None:

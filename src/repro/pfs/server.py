@@ -74,6 +74,11 @@ class StripeServer:
         #: drain could commit (policy "fail").
         self.wb_lost = 0
         self.wb_lost_bytes = 0
+        #: Write-behind drain accounting: completed drains and the
+        #: total ack-to-commit latency they accumulated.  The batched
+        #: data path mirrors these when it fast-forwards drains.
+        self.wb_drained = 0
+        self.wb_drain_wait = 0.0
         ionode.settle_hook = self.settle
 
     # -- batched-datapath interop ------------------------------------------
@@ -178,6 +183,7 @@ class StripeServer:
         self.env.process(self._drain(node, key, piece, slot), name="wb-drain")
 
     def _drain(self, node: int, key, piece: StripePiece, slot) -> Generator:
+        acked_at = self.env.now
         try:
             yield from self.ionode.submit(
                 node, "write", piece.disk_offset, piece.nbytes,
@@ -194,6 +200,8 @@ class StripeServer:
             return
         self.cache.mark_clean(key)
         self._wb_slots.release(slot)
+        self.wb_drained += 1
+        self.wb_drain_wait += self.env.now - acked_at
 
     @property
     def pending_write_behind(self) -> int:

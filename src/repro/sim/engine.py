@@ -96,6 +96,7 @@ class Engine:
         "_timeout_pool",
         "_init_pool",
         "_cb_pool",
+        "_probe",
     )
 
     def __init__(
@@ -122,6 +123,10 @@ class Engine:
         self._timeout_pool: List[Timeout] = []
         self._init_pool: List[Initialize] = []
         self._cb_pool: List[list] = []
+        #: Telemetry probe (repro.telemetry).  When attached, ``run()``
+        #: selects an instrumented copy of the dispatch loop; the
+        #: default loops carry no telemetry branches at all.
+        self._probe = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -249,6 +254,16 @@ class Engine:
             self._eid += 1
             heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def attach_probe(self, probe) -> None:
+        """Attach a telemetry probe (see :mod:`repro.telemetry`).
+
+        The probe receives ``on_advance(now)`` once per distinct
+        timestamp and per-event counter bumps, and must only *read*
+        simulator state: the instrumented loops dispatch the exact
+        same events in the exact same order as the default ones.
+        """
+        self._probe = probe
+
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -368,11 +383,17 @@ class Engine:
                     heappush(self._queue, (at, NORMAL + 1, self._eid, stopper))
 
         try:
+            probe = self._probe
             if self._fast:
-                self._run_fast()
-            else:
+                if probe is None:
+                    self._run_fast()
+                else:
+                    self._run_fast_instrumented(probe)
+            elif probe is None:
                 while self._queue:
                     self.step()
+            else:
+                self._run_legacy_instrumented(probe)
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -474,6 +495,98 @@ class Engine:
             self._memo_when = _NAN
             if len(bucket_pool) < _POOL_MAX:
                 bucket_pool.append(bucket)
+
+    def _run_fast_instrumented(self, probe) -> None:
+        """:meth:`_run_fast` with telemetry counting and sim-time hooks.
+
+        A verbatim copy of the fast loop plus probe bookkeeping; kept
+        separate (selected once per ``run()``) so the uninstrumented
+        loop pays nothing.  The probe only reads state, so dispatch
+        order and timing are identical to :meth:`_run_fast`.
+        """
+        times = self._times
+        buckets = self._buckets
+        bucket_pool = self._bucket_pool
+        timeout_pool = self._timeout_pool
+        init_pool = self._init_pool
+        cb_pool = self._cb_pool
+        timeout_cls = Timeout
+        init_cls = Initialize
+        probe_advance = probe.on_advance
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            urgent, normal, late = bucket
+            pop_urgent = urgent.popleft
+            pop_normal = normal.popleft
+            pop_late = late.popleft
+            self._now = when
+            events_before = probe.events
+            while True:
+                if urgent:
+                    event = pop_urgent()
+                elif normal:
+                    event = pop_normal()
+                elif late:
+                    event = pop_late()
+                else:
+                    break
+                probe.events += 1
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(
+                        f"event failed with non-exception {exc!r}"
+                    )
+
+                if event._pooled:
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if len(timeout_pool) < _POOL_MAX:
+                            timeout_pool.append(event)
+                    elif cls is init_cls and len(init_pool) < _POOL_MAX:
+                        init_pool.append(event)
+                if len(cb_pool) < _POOL_MAX:
+                    callbacks.clear()
+                    cb_pool.append(callbacks)
+            if probe.events != events_before:
+                probe.timestamps += 1
+                probe_advance(when)
+            del buckets[when]
+            heappop(times)
+            self._memo_when = _NAN
+            if len(bucket_pool) < _POOL_MAX:
+                bucket_pool.append(bucket)
+
+    def _run_legacy_instrumented(self, probe) -> None:
+        """Legacy ``step()`` loop with the same probe semantics.
+
+        ``on_advance(t)`` fires after the last event at ``t``, i.e.
+        when the head of the queue moves to a later time or the queue
+        drains — matching the fast loop's after-the-bucket hook.
+        """
+        queue = self._queue
+        last = _NAN
+        while queue:
+            when = queue[0][0]
+            if when != last:
+                if last == last:  # not the NAN sentinel
+                    probe.on_advance(last)
+                probe.timestamps += 1
+                last = when
+            probe.events += 1
+            self.step()
+        if last == last:
+            probe.on_advance(last)
 
     @staticmethod
     def _stop_on_event(event: Event) -> None:

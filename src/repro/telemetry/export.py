@@ -1,0 +1,95 @@
+"""Snapshot exporters: JSON document and OpenMetrics text exposition.
+
+Both work from the JSON-able snapshot produced by
+:meth:`repro.telemetry.instruments.RunTelemetry.snapshot` (or any
+bare ``registry.collect()`` list), so a snapshot can be serialized
+long after the simulator objects are gone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_json(snapshot: dict, path: Union[str, Path]) -> None:
+    Path(path).write_text(to_json(snapshot) + "\n")
+
+
+def _labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _num(value: float) -> str:
+    # OpenMetrics wants plain decimal; repr keeps round-trip fidelity.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_openmetrics(snapshot: Union[dict, List[dict]]) -> str:
+    """OpenMetrics 1.0 text exposition of a snapshot's metric families.
+
+    Accepts either a full snapshot dict (uses its ``"metrics"`` list)
+    or a bare ``MetricsRegistry.collect()`` list.
+    """
+    families = (
+        snapshot.get("metrics", []) if isinstance(snapshot, dict)
+        else snapshot
+    )
+    lines: List[str] = []
+    for family in families:
+        name = family["name"]
+        kind = family["type"]
+        lines.append(f"# TYPE {name} {kind}")
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                cumulative = sample["cumulative"]
+                for bound, count in zip(sample["bounds"], cumulative):
+                    bucket = dict(labels, le=_num(bound))
+                    lines.append(
+                        f"{name}_bucket{_labels(bucket)} {count}"
+                    )
+                inf = dict(labels, le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_labels(inf)} {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_count{_labels(labels)} {sample['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels(labels)} {_num(sample['sum'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels(labels)} {_num(sample['value'])}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(snapshot: Union[dict, List[dict]],
+                      path: Union[str, Path]) -> None:
+    Path(path).write_text(to_openmetrics(snapshot))

@@ -1,0 +1,285 @@
+"""Metric primitives: counters, gauges, histograms, and the registry.
+
+Design constraints (see ``docs/observability.md``):
+
+- **Near-zero cost when disabled.**  The enabled decision is made once
+  per *instrument creation*, not per event: a disabled registry hands
+  out shared null instruments whose mutators are empty methods, and the
+  recommended wiring (see :mod:`repro.telemetry.instruments`) goes one
+  step further — simulator hot paths keep their existing plain-int
+  counters and telemetry reads them through *callback gauges* at
+  collection time, so the instrumented code paths carry no telemetry
+  calls at all.
+- **Never perturb simulation state.**  Instruments only aggregate
+  Python numbers; nothing here schedules events, touches resources, or
+  consumes randomness.  Enabling telemetry leaves SDDF traces and
+  table rows byte-identical (asserted by ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class TelemetryError(ReproError):
+    """Invalid metric definition or registry misuse."""
+
+
+#: Canonical label identity: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter increment must be >= 0: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time level (queue depth, occupancy, utilization)."""
+
+    __slots__ = ("value", "_fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self.value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def read(self) -> float:
+        """Current value; callback gauges re-evaluate their source."""
+        if self._fn is not None:
+            self.value = float(self._fn())
+        return self.value
+
+
+#: Default histogram bucket bounds: log-spaced, wide enough for both
+#: second-scale latencies and small integer levels like queue depths.
+DEFAULT_BOUNDS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket distribution (OpenMetrics semantics)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise TelemetryError(
+                f"histogram bounds must be strictly increasing: {bounds!r}"
+            )
+        self.bounds = bounds
+        #: Per-finite-bucket counts; the +Inf bucket is ``count``.
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        index = bisect_left(self.bounds, value)
+        if index < len(self.bounds):
+            self.bucket_counts[index] += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per bound (OpenMetrics ``le`` buckets)."""
+        out: List[int] = []
+        running = 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instruments handed out by a disabled registry.  All
+#: callers share the same three objects; mutators are empty methods.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+class _Family:
+    """All instruments sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "instruments")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.instruments: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """A named collection of instruments with snapshot export.
+
+    ``enabled=False`` turns every factory into a null-instrument
+    lookup: one branch at instrument-creation time, zero work per
+    update, nothing retained, ``collect()`` returns an empty snapshot.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, _Family] = {}
+
+    # -- factories -------------------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str) -> _Family:
+        if not name or any(c.isspace() for c in name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise TelemetryError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Counter()
+        return inst  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Gauge()
+        return inst  # type: ignore[return-value]
+
+    def gauge_fn(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        **labels: str,
+    ) -> Gauge:
+        """A gauge whose value is pulled from ``fn`` at collection.
+
+        This is the zero-overhead wiring: the instrumented object keeps
+        its plain counter attribute and telemetry reads it only when a
+        snapshot is taken.
+        """
+        if not self.enabled:
+            return NULL_GAUGE
+        family = self._family(name, "gauge", help)
+        family.instruments[_label_key(labels)] = gauge = Gauge(fn)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Histogram(bounds)
+        return inst  # type: ignore[return-value]
+
+    # -- export ----------------------------------------------------------
+    def collect(self) -> List[dict]:
+        """Snapshot every family as a JSON-able structure.
+
+        Callback gauges are re-evaluated here — this is the only point
+        where telemetry reads simulator state.
+        """
+        out: List[dict] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples: List[dict] = []
+            for key in sorted(family.instruments):
+                inst = family.instruments[key]
+                labels = {k: v for k, v in key}
+                if family.kind == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "bounds": list(inst.bounds),
+                        "cumulative": inst.cumulative(),
+                    })
+                else:
+                    value = (
+                        inst.read() if isinstance(inst, Gauge)
+                        else inst.value
+                    )
+                    samples.append({"labels": labels, "value": value})
+            out.append({
+                "name": name,
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            })
+        return out
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<MetricsRegistry {state} families={len(self._families)}>"
+
+
+#: The shared disabled registry: every factory returns a null
+#: instrument; ``collect()`` returns ``[]``.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

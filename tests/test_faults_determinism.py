@@ -60,3 +60,27 @@ def test_chaos_report_is_reproducible():
     second = chaos_report(seed=11, classes=["slowdown"])
     assert first.format() == second.format()
     assert first.baseline_ranking == second.baseline_ranking
+
+
+def test_chaos_report_breaks_retries_down_by_class():
+    from repro.experiments.chaos import ChaosCell, ChaosReport, ChaosRow
+
+    report = ChaosReport(
+        app="escat", seed=1, baseline_ranking=("A",),
+        baseline_walls={"A": 10.0}, baseline_quantiles={"A": ()},
+    )
+    report.rows.append(ChaosRow(
+        fault_class="crash", plan_lines="(plan)",
+        cells=[ChaosCell(
+            version="A", completed=True, wall_time=12.0,
+            fault_summary={
+                "retries": 3,
+                "retries_by_class": {"crash": 2, "network": 1},
+                "backoff_s": 0.35,
+                "messages_lost": 1,
+                "wb_lost": 0,
+            },
+        )],
+    ))
+    text = report.format()
+    assert "retries 3 (crash 2, network 1) backoff 0.350s" in text

@@ -283,3 +283,134 @@ def test_adaptive_policy_switches_and_preserves_data(small_world):
     assert "enable-aggregation" in log["decisions"]
     assert "enable-prefetch" in log["decisions"]
     assert log["covered"] == 40 * KB
+
+
+def test_adaptive_policy_disables_prefetch_when_pattern_degrades(small_world):
+    eng, machine, pfs, tracer = small_world
+    log = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/adaptive-pf")
+        yield from cli.write(h, 128 * KB)
+        yield from cli.seek(h, 0)
+        policy = AdaptivePolicy(cli, h)
+        for _ in range(8):  # sequential: enables the prefetcher
+            yield from policy.read(1 * KB)
+        # Scatter the stream: the window re-classifies as random and
+        # the policy must drop back to plain reads.
+        for off in (90_000, 3_000, 61_000, 17_000, 44_000,
+                    101_000, 9_000, 70_000):
+            yield from cli.seek(h, off)
+            yield from policy.read(1 * KB)
+        log["decisions"] = [d for _, d, _ in policy.decisions]
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert "enable-prefetch" in log["decisions"]
+    assert "disable-prefetch" in log["decisions"]
+    enable = log["decisions"].index("enable-prefetch")
+    assert log["decisions"].index("disable-prefetch") > enable
+
+
+def test_adaptive_policy_flushes_and_disables_aggregation(small_world):
+    eng, machine, pfs, tracer = small_world
+    log = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/adaptive-agg")
+        policy = AdaptivePolicy(cli, h)
+        for _ in range(8):  # small sequential: enables aggregation
+            yield from policy.write(1 * KB)
+        for _ in range(4):  # large writes shift the window's mean size
+            yield from policy.write(64 * KB)
+        yield from policy.finish()
+        log["decisions"] = [d for _, d, _ in policy.decisions]
+        # Every byte of both regimes must land, including the bytes
+        # buffered in the aggregator when it was switched off.
+        total = 8 * KB + 4 * 64 * KB
+        log["covered"] = h.state.extents.covered_bytes(0, total)
+        log["total"] = total
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert "enable-aggregation" in log["decisions"]
+    assert "disable-aggregation" in log["decisions"]
+    assert log["covered"] == log["total"]
+
+
+def test_adaptive_finish_without_policies_is_a_noop(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/adaptive-noop")
+        policy = AdaptivePolicy(cli, h)
+        yield from policy.finish()  # nothing enabled: must not fail
+        assert policy.decisions == []
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_adaptive_policy_rejects_small_window(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/adaptive-bad")
+        with pytest.raises(PFSError):
+            AdaptivePolicy(cli, h, window=2)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_aggregator_rejects_negative_write(small_world):
+    eng, machine, pfs, tracer = small_world
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg-neg")
+        agg = WriteAggregator(cli, h)
+        with pytest.raises(PFSError):
+            yield from agg.write(-1)
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+
+
+def test_aggregator_ratio_edge_cases(small_world):
+    eng, machine, pfs, tracer = small_world
+    stats = {}
+
+    def proc():
+        cli = pfs.client(0)
+        h = yield from cli.open("/pfs/agg-ratio")
+        agg = WriteAggregator(cli, h)
+        stats["fresh"] = agg.aggregation_ratio  # no writes at all
+        yield from agg.write(1 * KB)  # buffered, not yet issued
+        stats["buffered"] = agg.aggregation_ratio
+        yield from agg.flush()
+        stats["flushed"] = agg.aggregation_ratio
+        # Flushing with an empty buffer issues nothing.
+        physical_before = agg.physical_writes
+        yield from agg.flush()
+        stats["idle_flush"] = agg.physical_writes == physical_before
+        yield from cli.close(h)
+
+    run_procs(eng, proc())
+    assert stats["fresh"] == 1.0
+    assert stats["buffered"] == 1.0  # one logical, zero physical
+    assert stats["flushed"] == 1.0  # one logical, one physical
+    assert stats["idle_flush"]
+
+
+def test_classifier_rejects_invalid_observation():
+    c = AccessPatternClassifier()
+    with pytest.raises(PFSError):
+        c.observe(-1, 100)
+    with pytest.raises(PFSError):
+        c.observe(0, -100)
+    assert c.observations == 0
