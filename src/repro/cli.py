@@ -125,7 +125,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {args.datapath_output}")
     if not args.check:
         return 0
-    regressed = False
+    failed = False
     for current, baseline in (
         (payload, baselines.get("core")),
         (dp_payload, baselines.get("datapath")),
@@ -134,12 +134,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             continue
         report = perfbench.check_regressions(current, baseline)
         print(perfbench.render_check(report))
-        regressed = regressed or report["regressed"]
-    return 1 if regressed else 0
+        failed = failed or report["regressed"]
+        # Absolute gate: the committed baseline's own criteria must
+        # hold on the fresh run, not just "no worse than committed".
+        criteria = perfbench.check_criteria(current, baseline)
+        print(perfbench.render_criteria(criteria))
+        if criteria["unmet"]:
+            if args.allow_red_baseline:
+                print("warning: unmet criteria acknowledged"
+                      " (--allow-red-baseline)")
+            else:
+                failed = True
+    return 1 if failed else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro import telemetry
+
+    if args.app == "diff":
+        if not args.second:
+            raise ReproError(
+                "usage: repro metrics diff <a.json> <b.json>"
+            )
+        a = telemetry.load_snapshot(args.version)
+        b = telemetry.load_snapshot(args.second)
+        diff = telemetry.snapshot_diff(a, b)
+        print(telemetry.render_diff(diff, args.version, args.second))
+        if args.json:
+            import json as _json
+
+            with open(args.json, "w") as stream:
+                _json.dump(diff, stream, indent=2)
+                stream.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+    if args.version not in ("A", "B", "C"):
+        raise ReproError(
+            f"unknown version {args.version!r} (expected A, B, or C)"
+        )
     from repro.apps import (
         ETHYLENE,
         PRISM_TEST,
@@ -370,19 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="data-path report path (empty string skips it)")
     p.add_argument("--check", action="store_true",
                    help="compare against committed baselines; exit 1 "
-                        "on a >15%% speedup-ratio regression")
+                        "on a >15%% speedup-ratio regression or an "
+                        "unmet committed criterion")
     p.add_argument("--baseline", default="BENCH_core.json",
                    help="core baseline report for --check")
     p.add_argument("--datapath-baseline", default="BENCH_datapath.json",
                    help="data-path baseline report for --check")
+    p.add_argument("--allow-red-baseline", action="store_true",
+                   help="downgrade unmet committed criteria to a "
+                        "warning (acknowledged known-red baseline)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
         "metrics",
-        help="run one application with telemetry and print the summary",
+        help="run one application with telemetry and print the "
+             "summary, or diff two exported snapshots",
     )
-    p.add_argument("app", choices=["escat", "prism"])
-    p.add_argument("version", choices=["A", "B", "C"])
+    p.add_argument("app", choices=["escat", "prism", "diff"],
+                   help="application to run, or 'diff' to compare "
+                        "two snapshot JSON files")
+    p.add_argument("version",
+                   help="application version (A/B/C), or the first "
+                        "snapshot path for 'diff'")
+    p.add_argument("second", nargs="?", default="",
+                   help="second snapshot path (diff only)")
     p.add_argument("--fast", action="store_true",
                    help="scaled-down problem instead of the paper's")
     p.add_argument("--seed", type=int, default=1996)

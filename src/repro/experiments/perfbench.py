@@ -47,7 +47,7 @@ import statistics
 import sys
 import tempfile
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.engine import Engine
 
@@ -241,7 +241,10 @@ DATAPATH_BASELINE = {
     "escat_A_records": 367786,
 }
 
-DATAPATH_CRITERIA = {"end_to_end_speedup_min": 2.0}
+DATAPATH_CRITERIA = {
+    "end_to_end_speedup_min": 2.0,
+    "server_speedup_min": 1.5,
+}
 
 
 def bench_datapath_decomposition(quick: bool = False) -> Dict:
@@ -679,5 +682,100 @@ def render_check(report: Dict) -> str:
         "verdict: "
         + ("REGRESSION detected" if report["regressed"]
            else f"ok ({report['compared']} metrics within threshold)")
+    )
+    return "\n".join(lines)
+
+
+# -- absolute criteria gate --------------------------------------------------
+
+#: Where each committed ``criteria`` key is measured in a fresh suite
+#: payload.  The regression gate above is *relative* (don't get worse
+#: than the committed numbers); this gate is *absolute* (the committed
+#: targets themselves must hold), so a baseline committed red — below
+#: its own criteria — fails ``repro bench --check`` until the numbers
+#: are actually earned.  ``scale_sensitive`` criteria are only judged
+#: on full-scale runs: quick problems shift end-to-end ratios for
+#: reasons that say nothing about the targets.
+_CRITERIA_METRICS = {
+    "repro fast simulation core": {
+        "engine_speedup_min": (("engine", "speedup"), False),
+        "end_to_end_speedup_min": (
+            ("end_to_end", "speedup_vs_pre_pr"), True,
+        ),
+    },
+    "repro batched PFS data path": {
+        "server_speedup_min": (("server", "speedup"), False),
+        "end_to_end_speedup_min": (
+            ("end_to_end", "speedup_vs_legacy_datapath"), True,
+        ),
+    },
+}
+
+
+def check_criteria(current: Dict, committed: Optional[Dict] = None) -> Dict:
+    """Judge a fresh suite payload against its committed criteria.
+
+    The targets come from the *committed* baseline's ``criteria``
+    block (falling back to the fresh payload's own) so editing the
+    targets without re-earning them is visible in review.  Non-numeric
+    criteria entries (the legacy ``*_ok`` booleans) and keys with no
+    measurement mapping are reported as skipped, never judged.
+    """
+    kind = current.get("benchmark")
+    source = committed if committed is not None else current
+    criteria = source.get("criteria") or {}
+    mapping = _CRITERIA_METRICS.get(kind, {})
+    quick = bool(current.get("quick"))
+    rows = []
+    for key in sorted(criteria):
+        target = criteria[key]
+        if isinstance(target, bool) or not isinstance(target, (int, float)):
+            continue  # derived flags (engine_ok, ...), not targets
+        if key not in mapping:
+            rows.append({"criterion": key, "target": target,
+                         "skipped": "no measurement mapping"})
+            continue
+        path, scale_sensitive = mapping[key]
+        if scale_sensitive and quick:
+            rows.append({"criterion": key, "target": target,
+                         "skipped": "quick run (scale-sensitive)"})
+            continue
+        value = _dig(current, path)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            rows.append({"criterion": key, "target": target,
+                         "skipped": "missing in report"})
+            continue
+        rows.append({
+            "criterion": key,
+            "target": target,
+            "current": value,
+            "met": value >= target,
+        })
+    return {
+        "benchmark": kind,
+        "criteria": rows,
+        "checked": sum(1 for r in rows if "met" in r),
+        "unmet": any(r.get("met") is False for r in rows),
+    }
+
+
+def render_criteria(report: Dict) -> str:
+    """One line per committed criterion, plus the verdict."""
+    lines = [f"criteria gate for {report['benchmark']}"]
+    for row in report["criteria"]:
+        if "skipped" in row:
+            lines.append(
+                f"  {row['criterion']:42s} skipped ({row['skipped']})"
+            )
+            continue
+        verdict = "met" if row["met"] else "UNMET"
+        lines.append(
+            f"  {row['criterion']:42s} target {row['target']:>7.2f}"
+            f"  current {row['current']:>7.2f}  {verdict}"
+        )
+    lines.append(
+        "verdict: "
+        + ("UNMET criteria" if report["unmet"]
+           else f"ok ({report['checked']} criteria met)")
     )
     return "\n".join(lines)

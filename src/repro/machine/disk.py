@@ -54,6 +54,9 @@ class RAID3Array:
         self.degraded = False
         self.rebuilds = 0
         self._slow_factor = 1.0
+        #: Service-model constants cached for the batched data path
+        #: (see :meth:`plan_consts`); keyed by config object identity.
+        self._plan_consts = None
 
     # -- fault injection -------------------------------------------------
     def fail_disk(self) -> None:
@@ -176,6 +179,39 @@ class RAID3Array:
             append(request_overhead + position + nbytes / rate)
             next_offset = offset + nbytes
         return out
+
+    def plan_head(self) -> Optional[int]:
+        """The head position a plan chain starts pricing seeks from.
+
+        This is the *committed* head state; a chain of stacked spans
+        threads its own planned position forward from here (each span
+        prices against its predecessor's final position) and commits it
+        per request via :meth:`commit_planned`, so the observable head
+        state never runs ahead of simulated time.
+        """
+        return self._next_offset
+
+    def plan_consts(self) -> tuple:
+        """Hoisted :meth:`service_time` constants for span pricing.
+
+        Keyed by the config *object*: degraded mode and slow-downs swap
+        it, and a healthy unthrottled array restores the original
+        instance (see :meth:`_refresh_config`), so stale rates are
+        never served.
+        """
+        cfg = self.config
+        const = self._plan_consts
+        if const is None or const[0] is not cfg:
+            const = (
+                cfg,
+                cfg.sequential_overhead,
+                cfg.positioning,
+                cfg.write_rmw_penalty * cfg.positioning,
+                cfg.request_overhead,
+                cfg.transfer_rate,
+            )
+            self._plan_consts = const
+        return const
 
     def commit_planned(self, offset: int, nbytes: int, duration: float) -> None:
         """Apply the state effects of one request priced by :meth:`plan_batch`."""

@@ -747,6 +747,18 @@ class PFSNodeClient:
             if kind == "write_behind" and not cached:
                 kind = "write_through"
             state = handle.state
+            if not cached and state.sem.private_pointer:
+                # Uncached transfers touch nothing between issue and
+                # arrival (no cache probe, no shared pointer), so the
+                # datapath can usually plan them *now* against the
+                # future arrival instant — skipping the arrival event
+                # and launch callback entirely.
+                early = datapath.launch_early(
+                    self, state, offset, nbytes, kind
+                )
+                if early is not None:
+                    yield early
+                    return
             done = Event(env)
             arrival = env.at(env.now + datapath.client_overhead)
             arrival.callbacks.append(

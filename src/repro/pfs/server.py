@@ -28,6 +28,11 @@ from repro.sim.resources import Resource
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Engine
 
+#: Sentinel returned by :meth:`StripeServer.plan_state` when every
+#: plannable resource is empty and unmonitored but no chain is active:
+#: the batched data path may start a fresh plan chain here.
+PLAN_IDLE = object()
+
 
 class StripeServer:
     """The PFS stripe daemon for one I/O node."""
@@ -58,15 +63,22 @@ class StripeServer:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
-        #: Active batched-datapath span (see repro.pfs.datapath), if
-        #: this server's queues are currently being fast-forwarded
-        #: analytically.  Any event-stepped entry below revokes it
-        #: first, so the span is never observable from the outside.
-        self.span = None
-        #: Disk-model constants cached by the batched data path (keyed
-        #: by the disk's config object so degraded/slowed-down state
-        #: invalidates them).
-        self._dp_const = None
+        #: Active batched-datapath plan chain (see repro.pfs.datapath),
+        #: if this server's queues are currently being fast-forwarded
+        #: analytically.  Any event-stepped entry below settles it
+        #: first, so the chain is never observable from the outside.
+        self.plan = None
+        #: Adaptive span guard state (see DataPath._span_outcome): a
+        #: sliding bitmask of recent span outcomes (1 = revoked); once
+        #: the window fills with mostly revocations, planning is
+        #: disabled on this server for the rest of the run.
+        self.span_disabled = False
+        self._span_window = 0
+        self._span_seen = 0
+        #: Span accounting for telemetry: spans planned on this server
+        #: and spans folded back into real queue state by revocation.
+        self.spans_planned = 0
+        self.span_revocations = 0
         #: Per-node crash state installed by the fault engine
         #: (repro.faults); ``None`` means no fault engine attached.
         self.faults = None
@@ -83,10 +95,32 @@ class StripeServer:
 
     # -- batched-datapath interop ------------------------------------------
     def settle(self) -> None:
-        """Fold any active analytic span back into real queue state."""
-        span = self.span
-        if span is not None:
-            span.revoke()
+        """Fold any active plan chain back into real queue state."""
+        plan = self.plan
+        if plan is not None:
+            plan.settle()
+
+    def plan_state(self):
+        """Queue-state snapshot for the batched data path.
+
+        Returns ``None`` when any plannable resource is busy, queued,
+        or monitored (timings would depend on event interleaving a plan
+        cannot replay); the active :class:`~repro.pfs.datapath.PlanChain`
+        when one exists (its tail state *is* the queue state — real
+        resources are untouched while a chain is active); or
+        :data:`PLAN_IDLE` when the server is genuinely idle.
+        """
+        ch = self.ionode._channel
+        if ch.users or ch.queue or ch.monitor is not None:
+            return None
+        cpu = self._cpu
+        if cpu.users or cpu.queue or cpu.monitor is not None:
+            return None
+        wb = self._wb_slots
+        if wb.users or wb.queue or wb.monitor is not None:
+            return None
+        plan = self.plan
+        return plan if plan is not None else PLAN_IDLE
 
     # -- helpers -----------------------------------------------------------
     def _block_key(self, piece: StripePiece, file_id: int):

@@ -27,6 +27,11 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.telemetry.diff import (
+    load_snapshot,
+    render_diff,
+    snapshot_diff,
+)
 from repro.telemetry.export import (
     to_json,
     to_openmetrics,
@@ -112,7 +117,10 @@ __all__ = [
     "SimTimeSampler",
     "TelemetryError",
     "enabled",
+    "load_snapshot",
+    "render_diff",
     "render_summary",
+    "snapshot_diff",
     "sample_resolution",
     "set_enabled",
     "set_sample_resolution",

@@ -188,6 +188,23 @@ class RunTelemetry:
                 help="Array currently in degraded (parity) mode",
                 server=label,
             )
+            reg.gauge_fn(
+                "pfs_server_spans_planned_total",
+                lambda s=s: s.spans_planned,
+                help="Datapath spans planned on this server", server=label,
+            )
+            reg.gauge_fn(
+                "pfs_server_span_revocations_total",
+                lambda s=s: s.span_revocations,
+                help="Spans folded back into real queue state",
+                server=label,
+            )
+            reg.gauge_fn(
+                "pfs_server_span_disabled",
+                lambda s=s: 1.0 if s.span_disabled else 0.0,
+                help="Adaptive guard stopped span planning here",
+                server=label,
+            )
             # Sim-time series: the contention signals the paper cares
             # about, sampled on the shared grid.
             self.sampler.add_source(
@@ -224,6 +241,15 @@ class RunTelemetry:
             reg.gauge_fn(
                 "datapath_revocations_total", lambda: dp.revocations,
                 help="Spans revoked by contention",
+            )
+            reg.gauge_fn(
+                "datapath_spans_stacked_total", lambda: dp.spans_stacked,
+                help="Spans planned onto a non-empty chain",
+            )
+            reg.gauge_fn(
+                "datapath_span_stacked_bytes_total",
+                lambda: dp.span_stacked_bytes,
+                help="Bytes moved by stacked (contended) spans",
             )
 
         faults = self.faults
@@ -277,6 +303,9 @@ class RunTelemetry:
                 "wb_drain_wait_s": s.wb_drain_wait,
                 "wb_lost": s.wb_lost,
                 "wb_lost_bytes": s.wb_lost_bytes,
+                "spans_planned": s.spans_planned,
+                "span_revocations": s.span_revocations,
+                "span_disabled": s.span_disabled,
                 "requests_completed": ion.completed,
                 "queue_delay_s": ion.total_queue_delay,
                 "service_s": ion.total_service,
@@ -317,9 +346,11 @@ class RunTelemetry:
             "servers": servers,
             "datapath": None if dp is None else {
                 "spans": dp.spans,
+                "spans_stacked": dp.spans_stacked,
                 "span_pieces": dp.span_pieces,
                 "fallback_pieces": dp.fallback_pieces,
                 "span_bytes": dp.span_bytes,
+                "span_stacked_bytes": dp.span_stacked_bytes,
                 "fallback_bytes": dp.fallback_bytes,
                 "revocations": dp.revocations,
             },
@@ -391,12 +422,23 @@ def render_summary(snapshot: dict, top: int = 5) -> str:
     if dp is not None:
         moved = dp["span_bytes"] + dp["fallback_bytes"]
         pct = 100.0 * dp["span_bytes"] / moved if moved else 0.0
+        stacked = dp.get("spans_stacked", 0)
         lines.append(
             f"datapath: {dp['spans']} spans carried "
             f"{dp['span_pieces']} pieces ({pct:.1f}% of bytes), "
+            f"{stacked} stacked onto loaded servers, "
             f"{dp['fallback_pieces']} pieces event-stepped, "
             f"{dp['revocations']} revocations"
         )
+        disabled = [
+            str(s["io_node"]) for s in snapshot["servers"]
+            if s.get("span_disabled")
+        ]
+        if disabled:
+            lines.append(
+                "datapath: adaptive guard disabled span planning on "
+                f"server(s) {', '.join(disabled)}"
+            )
 
     servers = snapshot["servers"]
     busiest = sorted(

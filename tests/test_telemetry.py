@@ -437,6 +437,78 @@ def test_missing_metric_is_reported_not_crashed():
 
 
 # ---------------------------------------------------------------------------
+# absolute criteria gate
+
+
+def _dp_report(quick=False, server=1.6, e2e=2.2, criteria=None):
+    return {
+        "benchmark": "repro batched PFS data path",
+        "quick": quick,
+        "server": {"speedup": server},
+        "end_to_end": {"speedup_vs_legacy_datapath": e2e},
+        "criteria": criteria if criteria is not None else {
+            "end_to_end_speedup_min": 2.0,
+            "server_speedup_min": 1.5,
+        },
+    }
+
+
+def test_check_criteria_met():
+    report = perfbench.check_criteria(_dp_report())
+    assert not report["unmet"]
+    assert report["checked"] == 2
+    assert "verdict: ok" in perfbench.render_criteria(report)
+
+
+def test_check_criteria_flags_red_baseline():
+    # A baseline committed below its own targets fails the gate.
+    report = perfbench.check_criteria(_dp_report(server=0.68, e2e=1.22))
+    assert report["unmet"]
+    rows = {r["criterion"]: r for r in report["criteria"]}
+    assert rows["server_speedup_min"]["met"] is False
+    assert rows["end_to_end_speedup_min"]["met"] is False
+    assert "UNMET" in perfbench.render_criteria(report)
+
+
+def test_check_criteria_targets_come_from_committed_baseline():
+    # Relaxing the criteria in the fresh payload must not help: the
+    # committed baseline's targets are the ones judged.
+    current = _dp_report(server=1.0, criteria={"server_speedup_min": 0.5})
+    committed = _dp_report(criteria={"server_speedup_min": 1.5})
+    assert perfbench.check_criteria(current, committed)["unmet"]
+    assert not perfbench.check_criteria(current)["unmet"]
+
+
+def test_check_criteria_skips_scale_sensitive_on_quick():
+    report = perfbench.check_criteria(_dp_report(quick=True, e2e=0.1))
+    rows = {r["criterion"]: r for r in report["criteria"]}
+    assert "skipped" in rows["end_to_end_speedup_min"]
+    assert rows["server_speedup_min"]["met"]  # still judged on quick
+    assert not report["unmet"]
+
+
+def test_check_criteria_ignores_flags_and_unmapped_keys():
+    core = {
+        "benchmark": "repro fast simulation core",
+        "quick": False,
+        "engine": {"speedup": 4.0},
+        "end_to_end": {"speedup_vs_pre_pr": 2.5},
+        "criteria": {
+            "engine_speedup_min": 3.0,
+            "end_to_end_speedup_min": 2.0,
+            "engine_ok": True,          # derived flag: not a target
+            "made_up_target_min": 9.9,  # no measurement mapping
+        },
+    }
+    report = perfbench.check_criteria(core)
+    rows = {r["criterion"]: r for r in report["criteria"]}
+    assert "engine_ok" not in rows
+    assert rows["made_up_target_min"]["skipped"] == "no measurement mapping"
+    assert report["checked"] == 2
+    assert not report["unmet"]
+
+
+# ---------------------------------------------------------------------------
 # CLI surfaces
 
 
