@@ -24,8 +24,116 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.errors import WorkloadError
 from repro.units import KB
+
+
+# ----------------------------------------------------------------------
+# vectorized request schedules (REPRO_FAST_APP staging)
+#
+# The applications' request streams are deterministic functions of the
+# problem parameters, so each phase's sizes can be precomputed as one
+# NumPy array walk and handed to the client's batched submission API
+# (PFSNodeClient.read_batch / write_batch) instead of being recomputed
+# inside per-request Python loops.  Each helper is the exact closed
+# form of the corresponding request loop — same sizes, same order.
+# ----------------------------------------------------------------------
+
+def cycled_schedule(count: int, sizes: Tuple[int, ...]) -> List[int]:
+    """``[sizes[i % len(sizes)] for i in range(count)]``, vectorized."""
+    if count < 0:
+        raise WorkloadError(f"negative request count {count}")
+    if count == 0:
+        return []
+    if not sizes or min(sizes) < 1:
+        raise WorkloadError(f"invalid size cycle {sizes!r}")
+    return np.resize(np.asarray(sizes, dtype=np.int64), count).tolist()
+
+
+def tile_schedule(total: int, sizes: Tuple[int, ...]) -> List[int]:
+    """Vectorized :func:`repro.apps.base.tile_sizes`.
+
+    Cover ``total`` bytes cycling through ``sizes``; the final request
+    is the remainder.  Full-size requests run until the cumulative sum
+    first reaches ``total`` — exactly the greedy loop's behaviour.
+    """
+    if total < 0:
+        raise WorkloadError(f"negative total {total}")
+    if not sizes or min(sizes) < 1:
+        raise WorkloadError(f"invalid size cycle {sizes!r}")
+    if total == 0:
+        return []
+    arr = np.asarray(sizes, dtype=np.int64)
+    per_cycle = int(arr.sum())
+    reps = total // per_cycle + 1
+    tiled = np.resize(arr, reps * len(sizes))
+    ends = np.cumsum(tiled)
+    cut = int(np.searchsorted(ends, total, side="left"))
+    if ends[cut] == total:
+        return tiled[: cut + 1].tolist()
+    head = tiled[:cut].tolist()
+    head.append(total - (int(ends[cut - 1]) if cut else 0))
+    return head
+
+
+def spread_schedule(total: int, count: int, sizes: Tuple[int, ...]) -> List[int]:
+    """Vectorized :func:`repro.apps.base.spread_sizes`.
+
+    Splits ``total`` into ``count`` round-robin requests with the last
+    absorbing the remainder.  Falls back to the exact scalar loop in
+    the (never hit at calibrated scale) tight-budget case where the
+    loop's leave-a-byte-each clamp would engage.
+    """
+    from repro.apps.base import spread_sizes
+
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if total < count:
+        raise WorkloadError(f"cannot split {total} bytes into {count} requests")
+    if count == 1:
+        return [total]
+    arr = np.resize(np.asarray(sizes, dtype=np.int64), count - 1)
+    ends = np.cumsum(arr)
+    slack = total - ends - (count - 1 - np.arange(count - 1))
+    if (slack < 0).any():
+        return spread_sizes(total, count, sizes)
+    out = arr.tolist()
+    out.append(total - int(ends[-1]))
+    return out
+
+
+def reload_schedule(
+    channel_bytes: int, chunk: int, record_size: int
+) -> List[Tuple[List[int], int]]:
+    """Segment ESCAT version A's node-zero quadrature reload.
+
+    The original loop reads ``chunk`` bytes at a time and broadcasts
+    whenever a full ``record_size`` record has been reassembled.  That
+    interleaving collapses into segments: ``ceil(record_size/chunk)``
+    full-chunk reads then one broadcast, repeated, plus a final
+    partial segment.  Returns ``[(read_sizes, broadcast_bytes), ...]``
+    in issue order — the same reads and broadcasts the loop emits.
+    """
+    if chunk < 1 or record_size < 1:
+        raise WorkloadError(
+            f"invalid reload geometry (chunk={chunk}, record={record_size})"
+        )
+    if channel_bytes <= 0:
+        return []
+    n_full, rem = divmod(channel_bytes, chunk)
+    per_segment = -(-record_size // chunk)
+    full_segments, tail_reads = divmod(n_full, per_segment)
+    segments: List[Tuple[List[int], int]] = [
+        ([chunk] * per_segment, per_segment * chunk)
+    ] * full_segments
+    tail: List[int] = [chunk] * tail_reads
+    if rem:
+        tail.append(rem)
+    if tail:
+        segments.append((tail, tail_reads * chunk + rem))
+    return segments
 
 
 @dataclass(frozen=True)
@@ -129,6 +237,30 @@ class EscatProblem:
     @property
     def matrix_bytes(self) -> int:
         return self.matrix_reads * self.matrix_chunk
+
+    # -- precomputed request schedules (REPRO_FAST_APP) ------------------
+    @property
+    def problemdef_schedule(self) -> List[int]:
+        """Phase-one problem-definition read sizes, in issue order."""
+        return cycled_schedule(self.problemdef_reads, self.problemdef_sizes)
+
+    @property
+    def result_schedule(self) -> List[int]:
+        """Phase-four per-channel result write sizes, in issue order."""
+        total = sum(
+            self.result_sizes[i % len(self.result_sizes)]
+            for i in range(self.result_writes_per_channel)
+        )
+        return spread_schedule(
+            total, self.result_writes_per_channel, self.result_sizes
+        )
+
+    @property
+    def reload_segments(self) -> List[Tuple[List[int], int]]:
+        """Version A phase-three read/broadcast segments, per channel."""
+        return reload_schedule(
+            self.channel_bytes, self.reload_chunk, self.record_size
+        )
 
     def quadrature_path(self, channel: int) -> str:
         return f"/pfs/escat/quad.ch{channel}"
@@ -278,6 +410,17 @@ class PrismProblem:
     @property
     def field_bytes(self) -> int:
         return self.n_nodes * self.field_writes_per_node * self.field_write_size
+
+    # -- precomputed request schedules (REPRO_FAST_APP) ------------------
+    @property
+    def checkpoint_schedule(self) -> List[int]:
+        """Per-checkpoint .chk write sizes, in issue order."""
+        return [self.checkpoint_write_size] * self.checkpoint_writes
+
+    @property
+    def stat_schedule(self) -> List[int]:
+        """Per-checkpoint per-stat-file write sizes, in issue order."""
+        return [self.stat_write_size] * self.stat_writes_per_checkpoint
 
     #: File paths.
     rea_path = "/pfs/prism/prism.rea"

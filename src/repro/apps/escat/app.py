@@ -4,14 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.apps.base import (
-    AppContext,
-    AppRunResult,
-    run_application,
-    spread_sizes,
-    tile_sizes,
-)
-from repro.apps.datasets import EscatProblem
+from repro.apps.base import AppContext, AppRunResult, run_application
+from repro.apps.datasets import EscatProblem, tile_schedule
 from repro.apps.escat.versions import ESCAT_VERSIONS, EscatVersion
 from repro.errors import WorkloadError
 from repro.machine import MachineConfig
@@ -119,7 +113,7 @@ def escat_rank_process(
                     handles[ch], phase2_mode, group=group
                 )
 
-    node0_cycle_sizes = tile_sizes(
+    node0_cycle_sizes = tile_schedule(
         ctx.n_nodes * problem.write_chunk,
         problem.node0_write_sizes,
     )
@@ -132,8 +126,7 @@ def escat_rank_process(
             # All nodes funnel their cycle contribution to node zero.
             if rank == 0:
                 yield from ctx.gather(0, problem.write_chunk)
-                for size in node0_cycle_sizes:
-                    yield from cli.write(handles[channel], size)
+                yield from cli.write_batch(handles[channel], node0_cycle_sizes)
         else:
             # "Each node seeks to a calculated offset dependent on the
             # node number, iteration, and the Paragon PFS stripe size."
@@ -177,16 +170,10 @@ def escat_rank_process(
     cli.phase = PHASE4
     yield from ctx.compute(rank, problem.final_compute)
     if rank == 0:
+        result_schedule = problem.result_schedule
         for ch in range(problem.n_channels):
             h = yield from cli.open(problem.result_path(ch))
-            total = sum(
-                problem.result_sizes[i % len(problem.result_sizes)]
-                for i in range(problem.result_writes_per_channel)
-            )
-            for size in spread_sizes(
-                total, problem.result_writes_per_channel, problem.result_sizes
-            ):
-                yield from cli.write(h, size)
+            yield from cli.write_batch(h, result_schedule)
             yield from cli.close(h)
     yield ctx.gsync()
 
@@ -205,16 +192,28 @@ def _read_input_files(
     if sync_after_opens:
         yield ctx.gsync()
     problemdef, mat1, mat2 = handles
-    # Problem definition: many small text reads.
-    sizes = problem.problemdef_sizes
-    for i in range(problem.problemdef_reads):
-        yield from cli.read(problemdef, sizes[i % len(sizes)])
-    # Initial matrices: 64 KB chunk reads.
     half = problem.matrix_reads // 2
-    for _ in range(half):
-        yield from cli.read(mat1, problem.matrix_chunk)
-    for _ in range(problem.matrix_reads - half):
-        yield from cli.read(mat2, problem.matrix_chunk)
+    if sync_after_opens:
+        # Version A: every node parses the shared inputs, so each read
+        # serializes through the M_UNIX atomicity token — batch
+        # submission would only fall back per-request (a shared file
+        # has no exclusive window), and this is the hottest request
+        # loop in the run, so skip the batch wrapper's delegation
+        # frame outright.
+        sizes = problem.problemdef_sizes
+        for i in range(problem.problemdef_reads):
+            yield from cli.read(problemdef, sizes[i % len(sizes)])
+        for _ in range(half):
+            yield from cli.read(mat1, problem.matrix_chunk)
+        for _ in range(problem.matrix_reads - half):
+            yield from cli.read(mat2, problem.matrix_chunk)
+    else:
+        # Sole reader (versions B/C): whole parse phases batch.
+        yield from cli.read_batch(problemdef, problem.problemdef_schedule)
+        yield from cli.read_batch(mat1, [problem.matrix_chunk] * half)
+        yield from cli.read_batch(
+            mat2, [problem.matrix_chunk] * (problem.matrix_reads - half)
+        )
     for h in handles:
         yield from cli.close(h)
 
@@ -222,22 +221,15 @@ def _read_input_files(
 def _node0_reload(ctx: AppContext, cli, problem: EscatProblem) -> Generator:
     """Version A phase three: node zero reads the quadrature in small
     chunks and broadcasts it along the way."""
-    chunk = problem.reload_chunk
-    bcast_batch = problem.record_size  # broadcast per reassembled record
+    # Precomputed read/broadcast segments: a full record's worth of
+    # chunk reads, then the broadcast the reassembled record triggers
+    # (the closed form of the original read-accumulate-broadcast loop).
+    segments = problem.reload_segments
     for ch in range(problem.n_channels):
         h = yield from cli.open(problem.quadrature_path(ch))
-        read_bytes = 0
-        since_bcast = 0
-        while read_bytes < problem.channel_bytes:
-            take = min(chunk, problem.channel_bytes - read_bytes)
-            yield from cli.read(h, take)
-            read_bytes += take
-            since_bcast += take
-            if since_bcast >= bcast_batch:
-                yield from ctx.broadcast(0, since_bcast)
-                since_bcast = 0
-        if since_bcast:
-            yield from ctx.broadcast(0, since_bcast)
+        for read_sizes, bcast_bytes in segments:
+            yield from cli.read_batch(h, read_sizes)
+            yield from ctx.broadcast(0, bcast_bytes)
         yield from cli.close(h)
 
 

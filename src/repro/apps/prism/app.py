@@ -87,6 +87,8 @@ def prism_rank_process(
             out_handles[path] = yield from cli.open(path)
 
     step_compute = problem.step_compute[version.name]
+    checkpoint_schedule = problem.checkpoint_schedule
+    stat_schedule = problem.stat_schedule
     for step in range(1, problem.steps + 1):
         yield ctx.gsync()
         yield from ctx.compute(rank, step_compute, jitter=0.03)
@@ -104,17 +106,13 @@ def prism_rank_process(
                     problem.checkpoint_writes * problem.checkpoint_write_size
                     // ctx.n_nodes,
                 )
-                for _ in range(problem.checkpoint_writes):
-                    yield from cli.write(
-                        out_handles[problem.chk_path],
-                        problem.checkpoint_write_size,
-                    )
+                yield from cli.write_batch(
+                    out_handles[problem.chk_path], checkpoint_schedule
+                )
                 for i in range(problem.stat_files):
-                    for _ in range(problem.stat_writes_per_checkpoint):
-                        yield from cli.write(
-                            out_handles[problem.stat_path(i)],
-                            problem.stat_write_size,
-                        )
+                    yield from cli.write_batch(
+                        out_handles[problem.stat_path(i)], stat_schedule
+                    )
     if rank == 0:
         for h in out_handles.values():
             yield from cli.close(h)
@@ -128,8 +126,9 @@ def prism_rank_process(
             yield from ctx.gather(0, problem.field_bytes // ctx.n_nodes)
             h = yield from cli.open(problem.fld_path)
             total_writes = ctx.n_nodes * problem.field_writes_per_node
-            for _ in range(total_writes):
-                yield from cli.write(h, problem.field_write_size)
+            yield from cli.write_batch(
+                h, [problem.field_write_size] * total_writes
+            )
             yield from cli.close(h)
             shared.field_gate.open()
         else:

@@ -99,6 +99,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.experiments import perfbench
 
+    if args.profile:
+        table = perfbench.run_profile(quick=args.quick)
+        with open(args.profile_output, "w") as stream:
+            stream.write(table)
+        # First lines only: the full table is the artifact.
+        print("\n".join(table.splitlines()[:12]))
+        print(f"wrote {args.profile_output}")
+        return 0
     for output in (args.output, args.datapath_output):
         out_dir = os.path.dirname(output) or "."
         if output and not os.path.isdir(out_dir):
@@ -411,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-red-baseline", action="store_true",
                    help="downgrade unmet committed criteria to a "
                         "warning (acknowledged known-red baseline)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile a fresh ESCAT-A run and write a "
+                        "top-N pstats table instead of the suite")
+    p.add_argument("--profile-output", default="PROFILE_escat_A.txt",
+                   help="pstats table path for --profile")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(

@@ -314,6 +314,39 @@ def _columns_from_events(events: List[IOEvent]) -> Tuple[np.ndarray, ...]:
     return node, opcode, path, start, duration, nbytes, offset, mode, phase
 
 
+class _ColumnBlock:
+    """One bulk append: many records sharing the scalar fields.
+
+    The per-record fields (``starts``/``durations``/``nbytes``/
+    ``offsets``) are plain Python lists; :meth:`Tracer.finish` expands
+    the block into column chunks.  A block occupies a single slot in
+    the tracer's row list, so relative order with neighbouring
+    per-record tuples (and therefore per-node append order, the sort
+    tie-breaker) is preserved.
+    """
+
+    __slots__ = (
+        "node", "op", "path", "mode", "phase",
+        "starts", "durations", "nbytes", "offsets",
+    )
+
+    def __init__(
+        self, node, op, path, mode, phase, starts, durations, nbytes, offsets
+    ) -> None:
+        self.node = node
+        self.op = op
+        self.path = path
+        self.mode = mode
+        self.phase = phase
+        self.starts = starts
+        self.durations = durations
+        self.nbytes = nbytes
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+
 class Tracer:
     """The live data-capture sink attached to a PFS instance.
 
@@ -322,7 +355,8 @@ class Tracer:
     that could process events prior to recording.  The hot capture path
     (:meth:`record_fields`) appends a plain tuple per record; an
     :class:`~repro.pablo.records.IOEvent` is only constructed when an
-    extension needs one.
+    extension needs one.  Batch submitters use :meth:`record_columns`
+    to append a whole column block in one call.
     """
 
     def __init__(self, meta: Optional[TraceMeta] = None) -> None:
@@ -330,6 +364,10 @@ class Tracer:
         self._rows: List[Tuple] = []
         self._extensions: List[Callable[[IOEvent], None]] = []
         self._enabled = True
+        #: Bulk capture accounting: record_columns calls and the extra
+        #: records they contributed beyond their single row slot.
+        self.bulk_appends = 0
+        self._block_extra = 0
 
     def add_extension(self, fn: Callable[[IOEvent], None]) -> None:
         """Register a per-event processing extension."""
@@ -379,6 +417,51 @@ class Tracer:
             (node, op, path, start, duration, nbytes, offset, mode, phase)
         )
 
+    def record_columns(
+        self,
+        node: int,
+        op: IOOp,
+        path: str,
+        mode: str,
+        phase: str,
+        starts: List[float],
+        durations: List[float],
+        nbytes: List[int],
+        offsets: List[int],
+    ) -> None:
+        """Capture a whole batch of records in one append.
+
+        All records share ``node``/``op``/``path``/``mode``/``phase``;
+        the four list arguments are parallel per-record columns.  With
+        extensions registered this degrades to per-record capture so
+        every extension still sees each event.
+        """
+        if not self._enabled:
+            return
+        count = len(starts)
+        if not (count == len(durations) == len(nbytes) == len(offsets)):
+            raise TraceError(
+                "record_columns: column lengths differ "
+                f"({count}/{len(durations)}/{len(nbytes)}/{len(offsets)})"
+            )
+        if count == 0:
+            return
+        if self._extensions:
+            for i in range(count):
+                self.record_fields(
+                    node, op, path, starts[i], durations[i],
+                    nbytes[i], offsets[i], mode, phase,
+                )
+            return
+        self._rows.append(
+            _ColumnBlock(
+                node, op, path, mode, phase, starts, durations, nbytes,
+                offsets,
+            )
+        )
+        self.bulk_appends += 1
+        self._block_extra += count - 1
+
     def pause(self) -> None:
         """Stop capturing (instrumentation off)."""
         self._enabled = False
@@ -388,13 +471,17 @@ class Tracer:
 
     @property
     def event_count(self) -> int:
-        return len(self._rows)
+        return len(self._rows) + self._block_extra
 
     def finish(self) -> Trace:
         """Seal the capture into an analyzable :class:`Trace`."""
         rows = self._rows
         if not rows:
             return Trace([], self.meta)
+        if self._block_extra or any(
+            type(row) is _ColumnBlock for row in rows
+        ):
+            return self._finish_blocks()
         node, op, path, start, duration, nbytes, offset, mode, phase = (
             zip(*rows)
         )
@@ -411,6 +498,69 @@ class Tracer:
             np.array(phase, dtype=object),
             meta=self.meta,
         )
+
+    def _finish_blocks(self) -> Trace:
+        """Column build over a row list that mixes tuples and blocks.
+
+        Consecutive tuple runs become one chunk each; every block is a
+        chunk of constant scalar fields.  The chunks concatenate into
+        the same columns a per-record capture would have produced
+        (order within each node is preserved, which is all the stable
+        ``(start, node)`` sort keys on).
+        """
+        rows = self._rows
+        n_rows = len(rows)
+        parts: List[Tuple[np.ndarray, ...]] = []
+        i = 0
+        while i < n_rows:
+            row = rows[i]
+            if type(row) is _ColumnBlock:
+                m = len(row.starts)
+                path_col = np.empty(m, dtype=object)
+                path_col[:] = row.path
+                mode_col = np.empty(m, dtype=object)
+                mode_col[:] = row.mode
+                phase_col = np.empty(m, dtype=object)
+                phase_col[:] = row.phase
+                parts.append((
+                    np.full(m, row.node, dtype=np.int64),
+                    np.full(m, OP_CODE[row.op], dtype=np.int8),
+                    path_col,
+                    np.array(row.starts, dtype=np.float64),
+                    np.array(row.durations, dtype=np.float64),
+                    np.array(row.nbytes, dtype=np.int64),
+                    np.array(row.offsets, dtype=np.int64),
+                    mode_col,
+                    phase_col,
+                ))
+                i += 1
+                continue
+            j = i + 1
+            while j < n_rows and type(rows[j]) is not _ColumnBlock:
+                j += 1
+            chunk = rows[i:j]
+            node, op, path, start, duration, nbytes, offset, mode, phase = (
+                zip(*chunk)
+            )
+            m = len(chunk)
+            parts.append((
+                np.array(node, dtype=np.int64),
+                np.fromiter(
+                    (OP_CODE[o] for o in op), dtype=np.int8, count=m
+                ),
+                np.array(path, dtype=object),
+                np.array(start, dtype=np.float64),
+                np.array(duration, dtype=np.float64),
+                np.array(nbytes, dtype=np.int64),
+                np.array(offset, dtype=np.int64),
+                np.array(mode, dtype=object),
+                np.array(phase, dtype=object),
+            ))
+            i = j
+        columns = tuple(
+            np.concatenate([part[k] for part in parts]) for k in range(9)
+        )
+        return Trace.from_columns(*columns, meta=self.meta)
 
     def __repr__(self) -> str:
         return f"<Tracer events={len(self._rows)} enabled={self._enabled}>"

@@ -33,6 +33,7 @@ M_LOG        shared pointer, first-come-first-served appends.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
 
 from repro.errors import (
@@ -65,6 +66,11 @@ _SEEK_PRIORITY = 1
 #: open storms that dominate the unoptimized code versions.
 _CLOSE_PRIORITY = 0
 _OPEN_PRIORITY = 1
+
+
+def _fast_app_default() -> bool:
+    """App-layer batched submission (REPRO_FAST_APP, default on)."""
+    return os.environ.get("REPRO_FAST_APP", "1") != "0"
 
 
 class PFS:
@@ -125,6 +131,13 @@ class PFS:
         self.datapath: Optional[DataPath] = (
             DataPath(self) if _fast_datapath_default() else None
         )
+        #: App-layer batch submission (REPRO_FAST_APP, default on):
+        #: read_batch/write_batch issue a whole request schedule in one
+        #: client call.  Off, they degrade to exact per-request loops.
+        self.fast_app = _fast_app_default()
+        #: Batch-coverage counters (surfaced by telemetry).
+        self.app_batches_submitted = 0
+        self.app_batch_bytes = 0
 
     def client(self, rank: int) -> "PFSNodeClient":
         """The (cached) client library instance for ``rank``."""
@@ -552,6 +565,205 @@ class PFSNodeClient:
                 f"positional I/O is undefined under {mode}; it bypasses "
                 "the mode's pointer coordination"
             )
+
+    # ------------------------------------------------------------------
+    # batched submission (REPRO_FAST_APP)
+    # ------------------------------------------------------------------
+    def read_batch(
+        self, handle: FileHandle, sizes: Sequence[int]
+    ) -> Generator[object, object, List[Extent]]:
+        """Read a whole schedule of requests in one client call.
+
+        Semantically identical to ``for n in sizes: read(handle, n)``
+        — same trace rows, same simulated times — but client-buffer
+        hits are priced analytically (one resumption per *miss*
+        instead of one event per request), and the trace rows land as
+        a single column block.  The fast path requires a sole-opener,
+        private-pointer, non-collective file (the exclusive window
+        that makes the analytic walk exact); anything else degrades to
+        the per-request loop, as does ``REPRO_FAST_APP=0``.
+        """
+        if not handle._open:
+            handle.require_open()
+        pfs = self.pfs
+        state = handle.state
+        sem = state.sem
+        buffer = handle.buffer
+        if (
+            not pfs.fast_app
+            or buffer is None
+            or not sem.private_pointer
+            or sem.node_ordered
+            or state.mode == AccessMode.M_GLOBAL
+            or state.is_shared
+        ):
+            extents: List[Extent] = []
+            for nbytes in sizes:
+                extents.extend((yield from self.read(handle, nbytes)))
+            return extents
+
+        env = self.env
+        hit_service = pfs.costs.buffer_hit_service
+        mode_str = state.mode_str
+        offset = handle.offset
+        t = env.now
+        extents = []
+        starts: List[float] = []
+        durations: List[float] = []
+        offsets: List[int] = []
+        planned = 0
+        total = 0
+        for nbytes in sizes:
+            if nbytes < 0:
+                break
+            start_t = t
+            pos = offset
+            rend = offset + nbytes
+            while pos < rend:
+                bstart = buffer._start
+                if (
+                    bstart is not None
+                    and buffer._generation == state._next_token
+                    and bstart <= pos < buffer._end
+                ):
+                    # Buffer hit: the request never leaves the client,
+                    # so its service time simply extends the analytic
+                    # clock — no event round trip.
+                    take = min(rend, buffer._end) - pos
+                    t += hit_service
+                    extents.extend(buffer.serve(pos, take))
+                else:
+                    # Miss: catch simulated time up to the analytic
+                    # clock (never an at(now) hop, which would shift
+                    # same-bucket dispatch order) and run the real
+                    # event-stepped fetch.
+                    if t > env.now:
+                        yield env.at(t)
+                    fetch_start, fetch_len = buffer.fetch_range(pos)
+                    fext = yield from self._direct_read(
+                        handle, fetch_start, fetch_len, cached=True
+                    )
+                    buffer.install(fetch_start, fetch_len, fext)
+                    take = min(rend, fetch_start + fetch_len) - pos
+                    if take <= 0:  # pragma: no cover - defensive
+                        raise PFSError("buffer fetch made no progress")
+                    extents.extend(buffer.serve(pos, take))
+                    t = env.now
+                pos += take
+            starts.append(start_t)
+            durations.append(t - start_t)
+            offsets.append(offset)
+            offset = rend
+            total += nbytes
+            planned += 1
+        if t > env.now:
+            yield env.at(t)
+        handle.offset = offset
+        if planned:
+            tracer = pfs.tracer
+            if tracer is not None:
+                tracer.record_columns(
+                    self.rank, IOOp.READ, handle.path, mode_str,
+                    self.phase, starts, durations,
+                    list(sizes[:planned]), offsets,
+                )
+            pfs.app_batches_submitted += 1
+            pfs.app_batch_bytes += total
+        for nbytes in sizes[planned:]:
+            extents.extend((yield from self.read(handle, nbytes)))
+        return extents
+
+    def write_batch(
+        self, handle: FileHandle, sizes: Sequence[int]
+    ) -> Generator[object, object, List[int]]:
+        """Write a whole schedule of requests in one client call.
+
+        Semantically identical to ``for n in sizes: write(handle, n)``
+        but the sequence is priced analytically through the datapath's
+        span planner (:meth:`~repro.pfs.datapath.DataPath.plan_write_at`):
+        request ``j`` is planned against the chain tail at the planned
+        completion of ``j-1``, tokens and extents are recorded at plan
+        time, and a single wake-up replaces one event round trip per
+        request.  Exact only inside an *exclusive window* — the file is
+        sole-opener/private-pointer and no foreign traffic reaches the
+        target servers mid-batch (the spans' strict revocation
+        threshold raises loudly if that contract is broken, rather
+        than silently diverging from the legacy path).  Any
+        ineligibility — legacy datapath, shared/collective/ordered
+        file, zero-size request, busy or faulted server —
+        falls back to per-request submission from that point on.
+        """
+        if not handle._open:
+            handle.require_open()
+        pfs = self.pfs
+        state = handle.state
+        sem = state.sem
+        mode = state.mode
+        datapath = pfs.datapath
+        if (
+            not pfs.fast_app
+            or datapath is None
+            or not sem.private_pointer
+            or sem.node_ordered
+            or mode == AccessMode.M_GLOBAL
+            or state.is_shared
+        ):
+            tokens: List[int] = []
+            for nbytes in sizes:
+                tokens.append((yield from self.write(handle, nbytes)))
+            return tokens
+
+        env = self.env
+        overhead = datapath.client_overhead
+        cached = handle.server_cached
+        kind = (
+            "write_through" if mode == AccessMode.M_UNIX else "write_behind"
+        )
+        if kind == "write_behind" and not cached:
+            kind = "write_through"
+        mode_str = state.mode_str
+        offset = handle.offset
+        t = env.now
+        tokens = []
+        starts: List[float] = []
+        durations: List[float] = []
+        offsets: List[int] = []
+        planned = 0
+        total = 0
+        for nbytes in sizes:
+            if nbytes <= 0:
+                break
+            t_client = datapath.plan_write_at(
+                self, state, offset, nbytes, kind, cached, t + overhead
+            )
+            if t_client is None:
+                break
+            token = state.new_token(self.rank)
+            state.record_write(offset, nbytes, token)
+            tokens.append(token)
+            starts.append(t)
+            durations.append(t_client - t)
+            offsets.append(offset)
+            offset += nbytes
+            total += nbytes
+            t = t_client
+            planned += 1
+        handle.offset = offset
+        if t > env.now:
+            yield env.at(t)
+        if planned:
+            tracer = pfs.tracer
+            if tracer is not None:
+                tracer.record_columns(
+                    self.rank, IOOp.WRITE, handle.path, mode_str,
+                    self.phase, starts, durations,
+                    list(sizes[:planned]), offsets,
+                )
+            pfs.app_batches_submitted += 1
+            pfs.app_batch_bytes += total
+        for nbytes in sizes[planned:]:
+            tokens.append((yield from self.write(handle, nbytes)))
+        return tokens
 
     # ------------------------------------------------------------------
     # mode-specific read/write bodies

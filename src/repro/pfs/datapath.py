@@ -72,6 +72,7 @@ from collections import deque
 from operator import itemgetter
 from typing import TYPE_CHECKING, Generator, List
 
+from repro.errors import PFSError
 from repro.machine.disk import RAID3Array
 from repro.pfs.server import PLAN_IDLE
 from repro.pfs.striping import StripePiece
@@ -728,6 +729,7 @@ class DataPath:
         span.misses = _EMPTY
         span.items = _EMPTY
         span.pending = 0
+        span.strict = -_INF
         span.cp = cp = client.mesh_position
         span.ip = ip = chain.ip
         const = chain.const
@@ -793,6 +795,124 @@ class DataPath:
             trigger = env.at(t_client)
             trigger.callbacks.append(span._finish)
         return ev
+
+    def plan_write_at(
+        self,
+        client: "PFSNodeClient",
+        state: "SharedFileState",
+        offset: int,
+        nbytes: int,
+        kind: str,
+        cached: bool,
+        t0: float,
+    ):
+        """Plan one write whose request is issued *in the future*.
+
+        The batch submitter (``PFSNodeClient.write_batch``) walks a
+        whole sequence of writes analytically: request ``j`` is issued
+        at the planned completion of request ``j-1``, so its arrival
+        instant ``t0`` lies beyond ``env.now``.  Pricing is the
+        ordinary :class:`FastSpan` construction against the chain tail
+        — exact under the batch contract that no foreign traffic
+        enters the target servers during the batch window (enforced
+        loudly by the spans' ``strict`` revocation threshold).  The
+        eligibility gate itself is evaluated *now*, which is
+        conservative: a server that would only become plannable by
+        ``t0`` simply declines.  Returns the planned client-completion
+        instant (write-through: last disk commit; write-behind: last
+        cache ack), or ``None`` when any target server declines — the
+        caller then falls back to per-request event-stepped submission
+        for the rest of the batch.
+        """
+        layout = state.layout
+        ss = layout.stripe_size
+        n_io = layout.n_io_nodes
+        base = layout.disk_base
+        first = offset // ss
+        end = offset + nbytes
+        last = (end - 1) // ss
+        k = last - first + 1
+        servers = self.pfs.servers
+
+        if k == 1:
+            srv = first % n_io
+            server = servers[srv]
+            chain = self._eligible(server, client, kind, (nbytes,), t0)
+            if chain is None:
+                return None
+            doff = base + (first // n_io) * ss + (offset - first * ss)
+            stacked = bool(chain.spans)
+            span = FastSpan(
+                self, client, server, state.file_id,
+                (doff,), (nbytes,), kind, cached, chain, None, t0,
+            )
+            if kind == "write_through":
+                span.strict = chain.ch_arrival
+                t_client = chain.ch_free
+            else:
+                span.strict = chain.cpu_arrival
+                t_client = chain.cpu_free
+            self.spans += 1
+            self.span_pieces += 1
+            self.span_bytes += nbytes
+            if stacked:
+                self.spans_stacked += 1
+                self.span_stacked_bytes += nbytes
+            return t_client
+
+        if k < _VECTOR_MIN_PIECES:
+            ios = []
+            doffs = []
+            ns = []
+            for stripe in range(first, last + 1):
+                start = stripe * ss
+                foff = offset if offset > start else start
+                pend = end if end < start + ss else start + ss
+                ios.append(stripe % n_io)
+                doffs.append(base + (stripe // n_io) * ss + (foff - start))
+                ns.append(pend - foff)
+        else:
+            io_a, doff_a, _foff_a, n_a = layout.pieces_arrays(offset, nbytes)
+            ios = io_a.tolist()
+            doffs = doff_a.tolist()
+            ns = n_a.tolist()
+
+        if n_io == 1:
+            groups = [(ios[0], doffs, ns)]
+        else:
+            groups = []
+            for r in range(n_io if n_io < k else k):
+                srv = (first + r) % n_io
+                groups.append((srv, doffs[r::n_io], ns[r::n_io]))
+
+        chains = []
+        for srv, _g_doffs, g_ns in groups:
+            chain = self._eligible(servers[srv], client, kind, g_ns, t0)
+            if chain is None:
+                return None
+            chains.append(chain)
+        t_client = t0
+        for (srv, g_doffs, g_ns), chain in zip(groups, chains):
+            stacked = bool(chain.spans)
+            span = FastSpan(
+                self, client, servers[srv], state.file_id,
+                g_doffs, g_ns, kind, cached, chain, None, t0,
+            )
+            if kind == "write_through":
+                span.strict = chain.ch_arrival
+                done = chain.ch_free
+            else:
+                span.strict = chain.cpu_arrival
+                done = chain.cpu_free
+            if done > t_client:
+                t_client = done
+            self.spans += 1
+            self.span_pieces += len(g_ns)
+            self.span_bytes += sum(g_ns)
+            if stacked:
+                self.spans_stacked += 1
+                self.span_stacked_bytes += sum(g_ns)
+        return t_client
 
     def _eligible(
         self, server: "StripeServer", client: "PFSNodeClient",
@@ -899,7 +1019,7 @@ class FastSpan:
     __slots__ = (
         "dp", "env", "server", "chain", "kind", "cached", "t0", "t_done",
         "cp", "ip", "client_event", "revoked",
-        "hits", "misses", "items", "pending",
+        "hits", "misses", "items", "pending", "strict",
     )
 
     def __init__(
@@ -940,6 +1060,13 @@ class FastSpan:
         self.misses = _EMPTY
         self.items = _EMPTY
         self.pending = 0
+        #: Strict-revocation threshold: batch-planned spans (see
+        #: DataPath.plan_write_at) whose network arrivals have not all
+        #: happened yet cannot be revoked exactly — the batching client
+        #: has already committed to the planned timeline — so
+        #: _reconstitute raises when ``tau < strict`` instead of
+        #: silently diverging.  -inf for ordinary spans.
+        self.strict = -_INF
 
         net = dp.net
         self.cp = cp = client.mesh_position
@@ -1053,7 +1180,10 @@ class FastSpan:
             chain.ch_arrival = arrive[order[-1]]
             chain.next_off = next_off
         else:  # write_behind (cached — uncached was normalized away)
-            net.count_sends(k, ns[0] if k == 1 else sum(ns))
+            if early:
+                eff((t0, _E_SEND, k, ns[0] if k == 1 else sum(ns)))
+            else:
+                net.count_sends(k, ns[0] if k == 1 else sum(ns))
             self.items = items = []
             out_base = net.base_cost(cp, ip)
             was = dp.was
@@ -1200,6 +1330,21 @@ class FastSpan:
         revoked) in chain order, so the resource requests issued here
         queue behind those of earlier spans exactly as planned.
         """
+        if tau < self.strict:
+            # A batch-planned span still has pending network arrivals a
+            # foreign request could overtake; the batching client has
+            # already baked the planned completion into its timeline, so
+            # exact replay is impossible.  Batch submission is only
+            # offered under the exclusive-window contract (see
+            # PFSNodeClient.write_batch) — loud failure beats silent
+            # divergence from the legacy path.
+            raise PFSError(
+                "batch-planned span revoked before its arrivals "
+                f"completed (t={tau:.9f} < {self.strict:.9f}, "
+                f"io_node={self.server.ionode.index}): batched "
+                "submission requires an exclusive window — no foreign "
+                "traffic may reach a batched server mid-batch"
+            )
         ev = self.client_event
         if (
             self.t_done >= 0.0

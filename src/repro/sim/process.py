@@ -40,7 +40,7 @@ class Process(Event):
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self,
@@ -54,6 +54,11 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        # Bound once: the trampoline resumes this generator hundreds of
+        # thousands of times per run, and a per-resume method lookup on
+        # the generator object is pure overhead.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None when
         #: running or finished).
@@ -95,15 +100,15 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
         env = self.env
-        gen = self._generator
+        send = self._send
         env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = gen.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    next_event = gen.throw(event._value)
+                    next_event = self._throw(event._value)
             except StopIteration as exc:
                 self._target = None
                 env._active_process = None

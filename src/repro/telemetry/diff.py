@@ -43,6 +43,14 @@ def _datapath(field: str) -> _Extractor:
     return get
 
 
+def _app(field: str) -> _Extractor:
+    def get(snap: dict) -> Optional[float]:
+        app = snap.get("app")
+        return None if app is None else app.get(field)
+
+    return get
+
+
 def _server_sum(field: str) -> _Extractor:
     def get(snap: dict) -> Optional[float]:
         servers = snap.get("servers")
@@ -121,6 +129,11 @@ _LAYERS: Tuple[Tuple[str, Tuple[Tuple[str, _Extractor, bool], ...]], ...] = (
         ("fallback_pieces", _datapath("fallback_pieces"), False),
         ("revocations", _datapath("revocations"), False),
         ("span_disabled_servers", _span_disabled_servers, False),
+    )),
+    ("app", (
+        ("batches_submitted", _app("batches_submitted"), False),
+        ("batch_bytes", _app("batch_bytes"), False),
+        ("trace_bulk_appends", _app("trace_bulk_appends"), False),
     )),
     ("disk", (
         ("busy_s", _disk_sum("busy_s"), False),

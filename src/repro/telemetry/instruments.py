@@ -252,6 +252,26 @@ class RunTelemetry:
                 help="Bytes moved by stacked (contended) spans",
             )
 
+        # App-layer fast path (REPRO_FAST_APP): batched submissions and
+        # the bulk trace rows they produce.  The counters exist on every
+        # run (zero when the fast path is off), so no gating.
+        pfs = self.pfs
+        reg.gauge_fn(
+            "app_batches_submitted_total",
+            lambda: pfs.app_batches_submitted,
+            help="Client request batches submitted analytically",
+        )
+        reg.gauge_fn(
+            "app_batch_bytes_total", lambda: pfs.app_batch_bytes,
+            help="Bytes moved through batched submissions",
+        )
+        tracer = pfs.tracer
+        if tracer is not None:
+            reg.gauge_fn(
+                "trace_bulk_appends_total", lambda: tracer.bulk_appends,
+                help="Column-block appends captured by the tracer",
+            )
+
         faults = self.faults
         if faults is not None:
             for cls in faults.retries_by_class:
@@ -354,6 +374,14 @@ class RunTelemetry:
                 "fallback_bytes": dp.fallback_bytes,
                 "revocations": dp.revocations,
             },
+            "app": {
+                "batches_submitted": self.pfs.app_batches_submitted,
+                "batch_bytes": self.pfs.app_batch_bytes,
+                "trace_bulk_appends": (
+                    0 if self.pfs.tracer is None
+                    else self.pfs.tracer.bulk_appends
+                ),
+            },
             "faults": None if self.faults is None else self.faults.summary(),
             "metrics": self.registry.collect(),
             "timeseries": self.sampler.as_dict(),
@@ -439,6 +467,13 @@ def render_summary(snapshot: dict, top: int = 5) -> str:
                 "datapath: adaptive guard disabled span planning on "
                 f"server(s) {', '.join(disabled)}"
             )
+    app = snapshot.get("app")
+    if app is not None and app.get("batches_submitted"):
+        lines.append(
+            f"app fast path: {app['batches_submitted']} batches "
+            f"submitted ({app['batch_bytes']} bytes), "
+            f"{app['trace_bulk_appends']} bulk trace appends"
+        )
 
     servers = snapshot["servers"]
     busiest = sorted(
