@@ -1,0 +1,58 @@
+"""repro.analysis — determinism static analysis for the simulator.
+
+The repo's value proposition is byte-identical determinism across 2
+kernels x 2 datapaths x the app fast path; this package enforces the
+contracts that keep it true *statically*, before the equivalence
+batteries ever run:
+
+- no unordered ``set`` iteration in sim code (``DET101``),
+- no wall-clock / ``random`` / ``uuid`` / ``os.urandom`` outside
+  ``sim/rng.py`` (``DET102``),
+- no ``id()``-based ordering or tie-breaking (``DET103``),
+- no ``os.environ`` reads outside the :mod:`repro.flags` boundary
+  (``DET104``),
+- pre-bound telemetry instruments in dispatch loops (``HOT201``),
+
+plus suppression hygiene (``SUP901``/``SUP902``).  Exposed as
+``repro lint [--json]``; the rule catalog lives in
+``docs/static-analysis.md``.  The runtime half of the same effort is
+:mod:`repro.sanitize` (``REPRO_SANITIZE=1`` invariant checks).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint import (
+    FileReport,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_report,
+    render_rules,
+    report_payload,
+    to_json,
+)
+from repro.analysis.rules import (
+    RULES,
+    SCOPED_PACKAGES,
+    FileContext,
+    Finding,
+    Rule,
+    resolve_rule,
+)
+
+__all__ = [
+    "FileContext",
+    "FileReport",
+    "Finding",
+    "RULES",
+    "Rule",
+    "SCOPED_PACKAGES",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_report",
+    "render_rules",
+    "report_payload",
+    "resolve_rule",
+    "to_json",
+]

@@ -1,0 +1,296 @@
+"""The lint driver: file discovery, suppressions, reporting.
+
+Suppression contract (enforced, not advisory):
+
+- A finding is silenced by a comment on its own line or on the line
+  directly above, of the form::
+
+      # repro: allow(<rule>): <justification>
+
+  where ``<rule>`` is the rule's code (``DET102``) or name
+  (``entropy``), and ``<justification>`` is non-empty prose saying
+  *why* the violation is sound.
+- A suppression without a justification, or naming an unknown rule,
+  is itself an error (``SUP901``).
+- A well-formed suppression that silences nothing is an error too
+  (``SUP902``) — stale suppressions hide future regressions.
+
+Comments are extracted with :mod:`tokenize`, so the marker text may
+appear freely inside strings and docstrings without creating phantom
+suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import LintError
+from repro.analysis.rules import (
+    RULES,
+    SCOPED_PACKAGES,
+    FileContext,
+    Finding,
+    resolve_rule,
+)
+
+#: ``# repro: allow(<rule>): <justification>`` — the trailing
+#: justification group is optional at parse time so its *absence* can
+#: be reported precisely.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rule>[A-Za-z0-9_-]+)\s*\)"
+    r"(?:\s*:\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed allow-comment."""
+
+    line: int
+    rule_token: str
+    justification: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class FileReport:
+    """Lint outcome for one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def _comments(source: str) -> List[Tuple[int, str]]:
+    """(line, text) for every real comment token in ``source``."""
+    out: List[Tuple[int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.string))
+    except tokenize.TokenError:
+        # Truncated source: the AST parse will have raised already;
+        # comments collected so far are still usable.
+        pass
+    return out
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    out: List[Suppression] = []
+    for line, text in _comments(source):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        out.append(
+            Suppression(
+                line=line,
+                rule_token=match.group("rule"),
+                justification=match.group("why"),
+            )
+        )
+    return out
+
+
+def _context_for(path: str, scoped_override: Optional[bool]) -> FileContext:
+    parts = tuple(Path(path).parts)
+    if scoped_override is not None:
+        scoped = scoped_override
+    else:
+        scoped = any(part in SCOPED_PACKAGES for part in parts[:-1])
+    return FileContext(path=path, parts=parts, scoped=scoped)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    scoped: Optional[bool] = None,
+) -> List[Finding]:
+    """Lint one source string; ``scoped`` forces the determinism rules
+    on/off regardless of the path (used by the fixture tests)."""
+    ctx = _context_for(path, scoped)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+
+    raw: List[Finding] = []
+    for rule in RULES.values():
+        if rule.scoped_only and not ctx.scoped:
+            continue
+        raw.extend(rule.check(tree, ctx))
+    raw.sort(key=lambda f: (f.line, f.col, f.code))
+
+    suppressions = _parse_suppressions(source)
+    by_line: Dict[Tuple[int, str], Suppression] = {}
+    final: List[Finding] = []
+
+    for sup in suppressions:
+        rule = resolve_rule(sup.rule_token)
+        if rule is None:
+            final.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    code="SUP901",
+                    rule="suppression",
+                    message=(
+                        f"allow({sup.rule_token}) names no known rule; "
+                        "see `repro lint --rules` for the catalog"
+                    ),
+                )
+            )
+            continue
+        if not sup.justification:
+            final.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    code="SUP901",
+                    rule="suppression",
+                    message=(
+                        f"allow({sup.rule_token}) carries no justification; "
+                        "every suppression must say why the violation is "
+                        "sound: `# repro: allow(rule): <reason>`"
+                    ),
+                )
+            )
+            continue
+        by_line[(sup.line, rule.code)] = sup
+
+    for finding in raw:
+        sup = by_line.get((finding.line, finding.code)) or by_line.get(
+            (finding.line - 1, finding.code)
+        )
+        if sup is not None:
+            sup.used = True
+            continue
+        final.append(finding)
+
+    for sup in by_line.values():
+        if not sup.used:
+            final.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    code="SUP902",
+                    rule="suppression",
+                    message=(
+                        f"allow({sup.rule_token}) suppresses nothing on "
+                        "this or the next line; remove the stale suppression"
+                    ),
+                )
+            )
+
+    final.sort(key=lambda f: (f.line, f.col, f.code))
+    return final
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            if candidate.suffix != ".py" or candidate in seen:
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    scoped: Optional[bool] = None,
+) -> List[FileReport]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    reports: List[FileReport] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        display = str(file_path)
+        findings = lint_source(source, path=display, scoped=scoped)
+        reports.append(FileReport(path=display, findings=findings))
+    return reports
+
+
+def render_report(reports: Sequence[FileReport]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = []
+    total = 0
+    for report in reports:
+        for finding in report.findings:
+            lines.append(finding.render())
+            total += 1
+    checked = len(reports)
+    if total == 0:
+        lines.append(f"repro lint: {checked} files checked, no findings")
+    else:
+        lines.append(
+            f"repro lint: {checked} files checked, {total} finding"
+            f"{'s' if total != 1 else ''}"
+        )
+    return "\n".join(lines)
+
+
+def report_payload(reports: Sequence[FileReport]) -> Dict[str, object]:
+    """JSON-able report structure (``repro lint --json``)."""
+    findings = [
+        finding.to_dict()
+        for report in reports
+        for finding in report.findings
+    ]
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        code = str(finding["code"])
+        by_code[code] = by_code.get(code, 0) + 1
+    return {
+        "files_checked": len(reports),
+        "finding_count": len(findings),
+        "findings_by_code": dict(sorted(by_code.items())),
+        "findings": findings,
+        "rules": {
+            rule.code: {
+                "name": rule.name,
+                "summary": rule.summary,
+                "scoped_only": rule.scoped_only,
+            }
+            for rule in RULES.values()
+        },
+    }
+
+
+def render_rules() -> str:
+    """The rule catalog (``repro lint --rules``)."""
+    lines = ["code     name             scope   summary"]
+    for rule in RULES.values():
+        scope = "sim" if rule.scoped_only else "all"
+        lines.append(
+            f"{rule.code:8s} {rule.name:16s} {scope:7s} {rule.summary}"
+        )
+    lines.append(
+        "\nSuppress with `# repro: allow(<code-or-name>): <justification>` "
+        "on the finding's line or the line above;\nunjustified (SUP901) "
+        "and unused (SUP902) suppressions are themselves findings."
+    )
+    return "\n".join(lines)
+
+
+def to_json(reports: Sequence[FileReport]) -> str:
+    return json.dumps(report_payload(reports), indent=2, sort_keys=False)

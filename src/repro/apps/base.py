@@ -149,8 +149,10 @@ def run_application(
     if run_telemetry is None:
         env.run(until=env.all_of(procs))
     else:
+        # repro: allow(DET102): wall-clock feeds telemetry only; sim state never reads it
         wall_start = time.perf_counter()
         env.run(until=env.all_of(procs))
+        # repro: allow(DET102): wall-clock feeds telemetry only; sim state never reads it
         run_telemetry.wall_seconds = time.perf_counter() - wall_start
     wall = env.now
     trace = tracer.finish()

@@ -333,6 +333,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        lint_paths,
+        render_report,
+        render_rules,
+        report_payload,
+        to_json,
+    )
+
+    if args.rules:
+        print(render_rules())
+        return 0
+    paths = args.paths or ["src"]
+    scoped = True if args.scope_all else None
+    reports = lint_paths(paths, scoped=scoped)
+    payload = report_payload(reports)
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w") as stream:
+            _json.dump(payload, stream, indent=2)
+            stream.write("\n")
+    if args.json:
+        print(to_json(reports))
+    else:
+        print(render_report(reports))
+        if args.output:
+            print(f"wrote {args.output}")
+    return 2 if payload["finding_count"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -459,6 +490,23 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(fn=_cmd_cache)
     q = cache_sub.add_parser("clear", help="delete every cached entry")
     q.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism static analysis over the sim-affecting packages",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable report to stdout")
+    p.add_argument("--output", default="",
+                   help="also write the JSON report to this path")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--scope-all", action="store_true",
+                   help="apply the determinism rules to every file, "
+                        "regardless of package (fixture/CI use)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "chaos",

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.classify import concurrency_stats, request_classes
-from repro.core.breakdown import io_time_breakdown
 from repro.errors import AnalysisError
 from repro.pablo import IOOp
 from repro.pablo.tracer import Trace

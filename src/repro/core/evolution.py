@@ -10,8 +10,8 @@ shifts, and request-size movement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.breakdown import OperationBreakdown, io_time_breakdown
 from repro.core.classify import request_classes

@@ -11,7 +11,7 @@ classify unlabeled traces heuristically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.errors import AnalysisError
 from repro.pablo.records import IOOp

@@ -9,7 +9,7 @@ curve shapes, not just summary statistics.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -89,3 +89,17 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """Characterization analysis was given unusable input."""
+
+
+class LintError(ReproError):
+    """The static-analysis driver was misused (bad path, bad rule
+    name, unparseable source handed to :func:`repro.analysis.lint_source`)."""
+
+
+class SanitizeError(ReproError):
+    """A runtime invariant check failed under ``REPRO_SANITIZE=1``.
+
+    Raised at the offending call site instead of letting the
+    inconsistency surface as a byte-diff several runs later; never
+    raised when sanitization is off.
+    """

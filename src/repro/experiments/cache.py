@@ -41,6 +41,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro import flags
 from repro.apps.base import AppRunResult
 from repro.pablo.sddf import read_sddf, write_sddf
 
@@ -147,22 +148,16 @@ def stats() -> dict:
 
 
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_CACHE", "1") != "0"
+    return flags.cache_enabled()
 
 
 def cache_max_bytes() -> int:
     """The cache size cap in bytes; ``<= 0`` means uncapped."""
-    raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
-    if raw is None:
-        return DEFAULT_CACHE_MAX_BYTES
-    try:
-        return int(raw)
-    except ValueError:
-        return DEFAULT_CACHE_MAX_BYTES
+    return flags.cache_max_bytes(DEFAULT_CACHE_MAX_BYTES)
 
 
 def cache_dir() -> Path:
-    override = os.environ.get("REPRO_CACHE_DIR")
+    override = flags.cache_dir()
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro"

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
 
 from repro.core.cdf import SizeCDF, request_size_cdf
 from repro.core.plots import ascii_bars, ascii_cdf, ascii_scatter

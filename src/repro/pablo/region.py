@@ -9,7 +9,7 @@ offsets (data operations only — others carry no file position).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -17,9 +17,10 @@ read-after-write integrity exact in the simulator.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import sanitize
 from repro.errors import PFSError
 from repro.pfs.file import Extent, SharedFileState
 
@@ -130,3 +131,43 @@ class ReadBuffer:
             f"[{self._start},{self._end})" if self._valid() else "invalid"
         )
         return f"<ReadBuffer {span} hit_rate={self.stats.hit_rate:.2f}>"
+
+
+class SanitizedReadBuffer(ReadBuffer):
+    """``REPRO_SANITIZE`` variant re-checking the precondition
+    :meth:`ReadBuffer.serve` deliberately skips: the range must be
+    covered by a buffer fetched at the file's current write
+    generation.  A violation means a caller bypassed :meth:`covers`
+    (or the generation tripwire) and is about to serve stale bytes —
+    the exact read-after-write divergence the coherence rule exists to
+    prevent.  See :mod:`repro.sanitize`.
+    """
+
+    def serve(self, offset: int, nbytes: int) -> List[Extent]:
+        if not self.covers(offset, nbytes):
+            if self._start is None:
+                why = "buffer is empty/invalidated"
+            elif self._generation != self.file_state._next_token:
+                why = (
+                    f"buffer generation {self._generation} is stale "
+                    f"(file write generation "
+                    f"{self.file_state._next_token})"
+                )
+            else:
+                why = (
+                    f"range [{offset},{offset + nbytes}) outside "
+                    f"buffered [{self._start},{self._end})"
+                )
+            sanitize.fail(
+                f"ReadBuffer.serve without coverage on "
+                f"{self.file_state.path!r}: {why}"
+            )
+        return ReadBuffer.serve(self, offset, nbytes)
+
+
+def make_read_buffer(file_state: SharedFileState, size: int) -> ReadBuffer:
+    """The handle-time buffer factory: selects the sanitized class
+    once per construction (the default class has no sanitizer
+    branches at all)."""
+    cls = SanitizedReadBuffer if sanitize.enabled() else ReadBuffer
+    return cls(file_state, size)

@@ -33,9 +33,9 @@ M_LOG        shared pointer, first-come-first-served appends.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
 
+from repro import flags
 from repro.errors import (
     AccessModeError,
     MessageLostError,
@@ -70,7 +70,7 @@ _OPEN_PRIORITY = 1
 
 def _fast_app_default() -> bool:
     """App-layer batched submission (REPRO_FAST_APP, default on)."""
-    return os.environ.get("REPRO_FAST_APP", "1") != "0"
+    return flags.fast_app()
 
 
 class PFS:

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import PFSError
-from repro.sim.events import Event
 from repro.sim.sync import Gate
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -67,11 +67,11 @@ committed numbers in ``BENCH_datapath.json``):
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from operator import itemgetter
 from typing import TYPE_CHECKING, Generator, List
 
+from repro import flags, sanitize
 from repro.errors import PFSError
 from repro.machine.disk import RAID3Array
 from repro.pfs.server import PLAN_IDLE
@@ -124,7 +124,7 @@ _EFFECT_PRUNE = 512
 
 
 def _fast_datapath_default() -> bool:
-    return os.environ.get("REPRO_FAST_DATAPATH", "1") != "0"
+    return flags.fast_datapath()
 
 
 class PlanChain:
@@ -369,6 +369,16 @@ class DataPath:
         #: span planning (see FaultEngine.span_ok) and switches piece
         #: completion to failure-aware chaining.
         self.faults = None
+        #: REPRO_SANITIZE class selection (repro.sanitize), resolved
+        #: once here: every chain and span this datapath plans carries
+        #: invariant checks, or none do.  The default classes have no
+        #: sanitizer branches at all.
+        if sanitize.enabled():
+            self._chain_cls = SanitizedPlanChain
+            self._span_cls = SanitizedFastSpan
+        else:
+            self._chain_cls = PlanChain
+            self._span_cls = FastSpan
 
     # ------------------------------------------------------------------
     def transfer(
@@ -448,7 +458,7 @@ class DataPath:
             chain = self._eligible(server, client, kind, (nbytes,), env.now)
             if chain is not None:
                 stacked = bool(chain.spans)
-                FastSpan(
+                self._span_cls(
                     self, client, server, state.file_id,
                     (doff,), (nbytes,), kind, cached, chain, done,
                 )
@@ -510,7 +520,7 @@ class DataPath:
             chain = self._eligible(server, client, kind, g_ns, env.now)
             if chain is not None:
                 stacked = bool(chain.spans)
-                span = FastSpan(
+                span = self._span_cls(
                     self, client, server, state.file_id,
                     g_doffs, g_ns, kind, cached, chain,
                 )
@@ -688,7 +698,7 @@ class DataPath:
         waits: List[object] = []
         for (srv, g_doffs, g_ns), chain in zip(groups, chains):
             stacked = bool(chain.spans)
-            span = FastSpan(
+            span = self._span_cls(
                 self, client, servers[srv], state.file_id,
                 g_doffs, g_ns, kind, False, chain, None, t0,
             )
@@ -716,7 +726,8 @@ class DataPath:
         pays generic-loop and list bookkeeping this path never needs.
         """
         env = self.env
-        span = FastSpan.__new__(FastSpan)
+        span_cls = self._span_cls
+        span = span_cls.__new__(span_cls)
         span.dp = self
         span.env = env
         span.server = server
@@ -842,7 +853,7 @@ class DataPath:
                 return None
             doff = base + (first // n_io) * ss + (offset - first * ss)
             stacked = bool(chain.spans)
-            span = FastSpan(
+            span = self._span_cls(
                 self, client, server, state.file_id,
                 (doff,), (nbytes,), kind, cached, chain, None, t0,
             )
@@ -894,7 +905,7 @@ class DataPath:
         t_client = t0
         for (srv, g_doffs, g_ns), chain in zip(groups, chains):
             stacked = bool(chain.spans)
-            span = FastSpan(
+            span = self._span_cls(
                 self, client, servers[srv], state.file_id,
                 g_doffs, g_ns, kind, cached, chain, None, t0,
             )
@@ -949,7 +960,7 @@ class DataPath:
             return None
         if kind == "write_behind" and len(ns) > server._wb_slots.capacity:
             return None
-        return PlanChain(self, server)
+        return self._chain_cls(self, server)
 
     def _can_stack(
         self, chain: PlanChain, server: "StripeServer",
@@ -1679,3 +1690,162 @@ class FastSpan:
         yield sreq
         preq = server._cpu.request()
         yield from self._recon_ack_queued(preq, n, doff, key, ack_dur, sreq)
+
+
+class SanitizedPlanChain(PlanChain):
+    """``REPRO_SANITIZE`` variant of :class:`PlanChain`.
+
+    Checks the two properties the merged-effect design stakes byte
+    identity on (see :mod:`repro.sanitize`):
+
+    - **effect-list monotonicity** — effects are applied in
+      non-decreasing timestamp order, across calls, and never past the
+      requested horizon; the ``next_due`` memo is never stale-high
+      (an effect already due must not survive the O(1) probe);
+    - **applied-prefix cursor validity** — the cursor stays within the
+      effect list through application, pruning, and settlement, and
+      settlement leaves no residual plan state behind.
+
+    Selected once per :class:`DataPath` construction; checks only read
+    state, so sanitized runs stay byte-identical.
+    """
+
+    __slots__ = ("_san_last",)
+
+    def __init__(self, dp: "DataPath", server: "StripeServer") -> None:
+        PlanChain.__init__(self, dp, server)
+        #: Timestamp of the last applied effect, across apply calls.
+        self._san_last = -_INF
+
+    def apply_until(self, tau: float) -> None:
+        effects = self.effects
+        cursor = self.cursor
+        if not 0 <= cursor <= len(effects):
+            sanitize.fail(
+                f"PlanChain cursor {cursor} outside effect list of "
+                f"length {len(effects)} "
+                f"(io_node={self.server.ionode.index})"
+            )
+        if tau < self.next_due:
+            for e in effects[cursor:]:
+                if e[0] <= tau:
+                    sanitize.fail(
+                        f"PlanChain.next_due memo stale-high: effect at "
+                        f"t={e[0]!r} still unapplied behind "
+                        f"next_due={self.next_due!r} (tau={tau!r}, "
+                        f"io_node={self.server.ionode.index})"
+                    )
+            return
+        pre_len = len(effects)
+        PlanChain.apply_until(self, tau)
+        effects = self.effects
+        start = cursor - (pre_len - len(effects))
+        last = self._san_last
+        for e in effects[start:self.cursor]:
+            t = e[0]
+            if t < last:
+                sanitize.fail(
+                    f"PlanChain applied effects out of order: t={t!r} "
+                    f"after t={last!r} "
+                    f"(io_node={self.server.ionode.index})"
+                )
+            if t > tau:
+                sanitize.fail(
+                    f"PlanChain applied an effect at t={t!r} past the "
+                    f"requested horizon tau={tau!r} "
+                    f"(io_node={self.server.ionode.index})"
+                )
+            last = t
+        self._san_last = last
+        if not 0 <= self.cursor <= len(effects):
+            sanitize.fail(
+                f"PlanChain cursor {self.cursor} left outside effect "
+                f"list of length {len(effects)} after application "
+                f"(io_node={self.server.ionode.index})"
+            )
+
+    def settle(self) -> None:
+        PlanChain.settle(self)
+        if self.spans or self.effects or self.cursor != 0:
+            sanitize.fail(
+                "PlanChain.settle left residual plan state: "
+                f"{len(self.spans)} spans, {len(self.effects)} effects, "
+                f"cursor={self.cursor} "
+                f"(io_node={self.server.ionode.index})"
+            )
+        if self.server.plan is self:
+            sanitize.fail(
+                "PlanChain.settle left itself attached to the server "
+                f"(io_node={self.server.ionode.index})"
+            )
+
+
+class SanitizedFastSpan(FastSpan):
+    """``REPRO_SANITIZE`` variant of :class:`FastSpan`.
+
+    Checks the arrival-threshold and revocation-state consistency the
+    plan/revoke protocol relies on (see :mod:`repro.sanitize`):
+
+    - a planned completion never precedes the span's request arrival
+      (``t_done >= t0``);
+    - stacking never plans a resource arrival earlier than the chain
+      tail (the append-order guard's promise — violating it reorders
+      FIFO grants);
+    - reconstitution only runs on spans settlement has revoked and
+      already detached from their chain;
+    - a directly scheduled completion dispatches exactly at its
+      planned instant.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self, dp, client, server, file_id, doffs, ns, kind, cached,
+        chain, client_event=None, t0=None,
+    ) -> None:
+        ch_arrival = chain.ch_arrival
+        cpu_arrival = chain.cpu_arrival
+        FastSpan.__init__(
+            self, dp, client, server, file_id, doffs, ns, kind,
+            cached, chain, client_event, t0,
+        )
+        if chain.ch_arrival < ch_arrival or chain.cpu_arrival < cpu_arrival:
+            sanitize.fail(
+                "append-order guard violated: span planned a resource "
+                f"arrival (ch={chain.ch_arrival!r}, "
+                f"cpu={chain.cpu_arrival!r}) earlier than the chain "
+                f"tail (ch={ch_arrival!r}, cpu={cpu_arrival!r}) on "
+                f"io_node={server.ionode.index}"
+            )
+        if 0.0 <= self.t_done < self.t0:
+            sanitize.fail(
+                f"FastSpan planned completion t={self.t_done!r} "
+                f"precedes its request arrival t0={self.t0!r} "
+                f"(io_node={server.ionode.index})"
+            )
+
+    def _reconstitute(self, tau: float) -> None:
+        if not self.revoked:
+            sanitize.fail(
+                "FastSpan._reconstitute on a live span: settlement "
+                "must mark the whole chain revoked before rebuilding "
+                f"queue state (io_node={self.server.ionode.index})"
+            )
+        for s in self.chain.spans:
+            if s is self:
+                sanitize.fail(
+                    "FastSpan._reconstitute while still a member of "
+                    "its chain: settlement must detach the chain "
+                    f"first (io_node={self.server.ionode.index})"
+                )
+        FastSpan._reconstitute(self, tau)
+
+    def _finish(self, _ev) -> None:
+        if (not self.revoked and self.t_done >= 0.0
+                and self.env.now != self.t_done):
+            sanitize.fail(
+                f"FastSpan completion dispatched at t={self.env.now!r} "
+                f"but was planned for t_done={self.t_done!r} "
+                f"(io_node={self.server.ionode.index})"
+            )
+        FastSpan._finish(self, _ev)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import FileNotOpenError, PFSError
-from repro.pfs.buffering import ReadBuffer
+from repro.pfs.buffering import ReadBuffer, make_read_buffer
 from repro.pfs.file import SharedFileState
 from repro.pfs.modes import AccessMode
 
@@ -47,7 +47,7 @@ class FileHandle:
         #: server side independently.
         self.server_cached = buffered
         self.buffer: Optional[ReadBuffer] = (
-            ReadBuffer(state, buffer_size) if buffered else None
+            make_read_buffer(state, buffer_size) if buffered else None
         )
         self._open = True
 
@@ -85,7 +85,7 @@ class FileHandle:
         self.buffered = buffered
         self.server_cached = buffered
         if buffered and self.buffer is None:
-            self.buffer = ReadBuffer(self.state, buffer_size)
+            self.buffer = make_read_buffer(self.state, buffer_size)
         if not buffered:
             self.buffer = None
 

@@ -24,11 +24,11 @@ timing of events.
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from heapq import heapify, heappush, heappop
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Iterable, List, Optional, Tuple
 
+from repro import flags, sanitize
 from repro.errors import EmptySchedule, SimulationError, StopSimulation
 from repro.sim.events import (
     AllOf,
@@ -40,6 +40,9 @@ from repro.sim.events import (
     URGENT,
 )
 from repro.sim.process import Process
+
+if TYPE_CHECKING:
+    from repro.telemetry.instruments import RunTelemetry
 
 #: Legacy queue entry: (time, priority, sequence, event).  ``sequence``
 #: breaks ties deterministically in insertion order.
@@ -59,7 +62,7 @@ _NAN = float("nan")
 
 
 def _fast_core_default() -> bool:
-    return os.environ.get("REPRO_FAST_CORE", "1") != "0"
+    return flags.fast_core()
 
 
 class Engine:
@@ -97,6 +100,7 @@ class Engine:
         "_init_pool",
         "_cb_pool",
         "_probe",
+        "_sanitize",
     )
 
     def __init__(
@@ -127,6 +131,11 @@ class Engine:
         #: selects an instrumented copy of the dispatch loop; the
         #: default loops carry no telemetry branches at all.
         self._probe = None
+        #: REPRO_SANITIZE (repro.sanitize) — resolved once here, like
+        #: the fast-core flag.  When set, ``run()`` selects the
+        #: invariant-checking copy of the fast loop; the default loops
+        #: carry no sanitizer branches at all.
+        self._sanitize = sanitize.enabled()
 
     # -- clock -----------------------------------------------------------
     @property
@@ -226,11 +235,11 @@ class Engine:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: "Iterable[Event]") -> AllOf:
         """Event triggering when all ``events`` have triggered."""
         return AllOf(self, events)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: "Iterable[Event]") -> AnyOf:
         """Event triggering when any of ``events`` triggers."""
         return AnyOf(self, events)
 
@@ -254,7 +263,7 @@ class Engine:
             self._eid += 1
             heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
-    def attach_probe(self, probe) -> None:
+    def attach_probe(self, probe: object) -> None:
         """Attach a telemetry probe (see :mod:`repro.telemetry`).
 
         The probe receives ``on_advance(now)`` once per distinct
@@ -385,7 +394,9 @@ class Engine:
         try:
             probe = self._probe
             if self._fast:
-                if probe is None:
+                if self._sanitize:
+                    self._run_fast_sanitized(probe)
+                elif probe is None:
                     self._run_fast()
                 else:
                     self._run_fast_instrumented(probe)
@@ -496,7 +507,7 @@ class Engine:
             if len(bucket_pool) < _POOL_MAX:
                 bucket_pool.append(bucket)
 
-    def _run_fast_instrumented(self, probe) -> None:
+    def _run_fast_instrumented(self, probe: "RunTelemetry") -> None:
         """:meth:`_run_fast` with telemetry counting and sim-time hooks.
 
         A verbatim copy of the fast loop plus probe bookkeeping; kept
@@ -567,7 +578,120 @@ class Engine:
             if len(bucket_pool) < _POOL_MAX:
                 bucket_pool.append(bucket)
 
-    def _run_legacy_instrumented(self, probe) -> None:
+    def _run_fast_sanitized(self, probe: "Optional[RunTelemetry]") -> None:
+        """:meth:`_run_fast` with runtime invariant checks
+        (``REPRO_SANITIZE=1``, see :mod:`repro.sanitize`).
+
+        A copy of the fast loop plus two families of checks the
+        default loop omits by design:
+
+        - **calendar ordering** — each drained timestamp must be at or
+          after the previous one and at or after the clock (a
+          violation means something inserted into the past, which the
+          default loop would follow silently, rewinding time);
+        - **pool double-free** — a recycled event must not already sit
+          in its free pool (a double-free aliases two future timeouts
+          onto one object, corrupting an arbitrarily later dispatch).
+
+        The checks only read state, so a sanitized run dispatches the
+        exact same events in the exact same order.  Probe bookkeeping
+        is folded in behind ``if`` guards rather than as a fourth loop
+        copy: sanitized runs are diagnostic, not benchmark, mode.
+        """
+        times = self._times
+        buckets = self._buckets
+        bucket_pool = self._bucket_pool
+        timeout_pool = self._timeout_pool
+        init_pool = self._init_pool
+        cb_pool = self._cb_pool
+        timeout_cls = Timeout
+        init_cls = Initialize
+        last_when = self._now
+        while times:
+            when = times[0]
+            if when < last_when:
+                sanitize.fail(
+                    f"calendar queue moved backwards: dispatching "
+                    f"t={when!r} after t={last_when!r}"
+                )
+            last_when = when
+            bucket = buckets[when]
+            urgent, normal, late = bucket
+            pop_urgent = urgent.popleft
+            pop_normal = normal.popleft
+            pop_late = late.popleft
+            self._now = when
+            events_before = probe.events if probe is not None else 0
+            while True:
+                if urgent:
+                    event = pop_urgent()
+                elif normal:
+                    event = pop_normal()
+                elif late:
+                    event = pop_late()
+                else:
+                    break
+                if probe is not None:
+                    probe.events += 1
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+
+                if not event._ok and not event._defused:
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(
+                        f"event failed with non-exception {exc!r}"
+                    )
+
+                if event._pooled:
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if len(timeout_pool) < _POOL_MAX:
+                            for pooled in timeout_pool:
+                                if pooled is event:
+                                    sanitize.fail(
+                                        f"event pool double-free: {event!r} "
+                                        "recycled while already in the "
+                                        "timeout free list"
+                                    )
+                            timeout_pool.append(event)
+                    elif cls is init_cls and len(init_pool) < _POOL_MAX:
+                        for pooled in init_pool:
+                            if pooled is event:
+                                sanitize.fail(
+                                    f"event pool double-free: {event!r} "
+                                    "recycled while already in the "
+                                    "initialize free list"
+                                )
+                        init_pool.append(event)
+                if len(cb_pool) < _POOL_MAX:
+                    callbacks.clear()
+                    cb_pool.append(callbacks)
+            if probe is not None and probe.events != events_before:
+                probe.timestamps += 1
+                probe.on_advance(when)
+            del buckets[when]
+            popped = heappop(times)
+            if popped != when:
+                # A callback inserted a timestamp BEHIND the bucket
+                # being drained: the heap head moved under the loop.
+                # The default loop would crash later with a bare
+                # KeyError on the already-deleted bucket.
+                sanitize.fail(
+                    f"calendar queue moved backwards: t={popped!r} was "
+                    f"inserted behind the draining bucket t={when!r}"
+                )
+            self._memo_when = _NAN
+            if len(bucket_pool) < _POOL_MAX:
+                bucket_pool.append(bucket)
+
+    def _run_legacy_instrumented(self, probe: "RunTelemetry") -> None:
         """Legacy ``step()`` loop with the same probe semantics.
 
         ``on_advance(t)`` fires after the last event at ``t``, i.e.

@@ -12,7 +12,7 @@ callbacks have run.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, List, Optional
 
 from repro.errors import SimulationError
 
@@ -185,7 +185,7 @@ class ConditionValue:
     def __contains__(self, event: Event) -> bool:
         return event in self.events
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Event]":
         return iter(self.events)
 
     def __len__(self) -> int:

@@ -11,7 +11,7 @@ order* on synchronized access modes.
 from __future__ import annotations
 
 from heapq import heapify, heappush, heappop
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
@@ -43,7 +43,7 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.cancel()
 
     def cancel(self) -> None:

@@ -14,11 +14,11 @@ These model the coordination the Intel PFS imposes on its access modes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
-from repro.sim.resources import Resource
+from repro.sim.resources import Request, Resource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -175,13 +175,13 @@ class Lock:
         return result
 
 
-def _chain(lock: Lock, req) -> Event:
+def _chain(lock: Lock, req: Request) -> Event:
     """Record the granted request as the lock holder when it fires."""
     if req.triggered:
         lock._holder = req
         return req
 
-    def _on_grant(event) -> None:
+    def _on_grant(event: Event) -> None:
         lock._holder = req
 
     req.callbacks.insert(0, _on_grant)

@@ -24,9 +24,9 @@ default 1.0) or :func:`set_sample_resolution`.
 
 from __future__ import annotations
 
-import os
 from typing import Optional
 
+from repro import flags
 from repro.telemetry.diff import (
     load_snapshot,
     render_diff,
@@ -69,7 +69,7 @@ def enabled() -> bool:
     """Whether telemetry is collected for new runs."""
     if _enabled_override is not None:
         return _enabled_override
-    return os.environ.get("REPRO_TELEMETRY", "0") != "0"
+    return flags.telemetry()
 
 
 def set_enabled(value: Optional[bool]) -> None:
@@ -83,14 +83,9 @@ def sample_resolution() -> float:
     """Sampler grid spacing in simulated seconds."""
     if _resolution_override is not None:
         return _resolution_override
-    raw = os.environ.get("REPRO_TELEMETRY_RESOLUTION")
-    if raw:
-        try:
-            value = float(raw)
-            if value > 0:
-                return value
-        except ValueError:
-            pass
+    value = flags.telemetry_resolution()
+    if value is not None:
+        return value
     return DEFAULT_RESOLUTION
 
 

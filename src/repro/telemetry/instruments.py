@@ -26,6 +26,7 @@ from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.sampler import EngineProbe, SimTimeSampler
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.engine import FaultEngine
     from repro.machine.paragon import ParagonXPS
     from repro.pablo.tracer import Trace
     from repro.pfs.client import PFS
@@ -43,7 +44,7 @@ class RunTelemetry:
         env: "Engine",
         machine: "ParagonXPS",
         pfs: "PFS",
-        faults=None,
+        faults: "Optional[FaultEngine]" = None,
         resolution: Optional[float] = None,
     ) -> None:
         if resolution is None:

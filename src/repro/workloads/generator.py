@@ -11,7 +11,7 @@ uses to classify behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.apps.base import AppContext, AppRunResult, run_application

@@ -23,7 +23,6 @@ from typing import Dict, Generator, Optional
 from repro.apps.base import AppContext, run_application
 from repro.errors import WorkloadError
 from repro.machine import MachineConfig
-from repro.pablo import IOOp
 from repro.pfs import PFSCostModel
 from repro.pfs.modes import AccessMode
 from repro.units import KB, MB

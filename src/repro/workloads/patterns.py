@@ -107,6 +107,7 @@ class RandomPattern(AccessPattern):
         if self.file_blocks < 1:
             raise WorkloadError("need >= 1 file block")
         # Stateless hash-based placement for reproducibility.
+        # repro: allow(DET102): generator is freshly seeded from (seed, rank, index) — pure function, no ambient entropy
         rng = np.random.default_rng(
             (self.seed * 1_000_003 + rank) * 1_000_003 + index
         )

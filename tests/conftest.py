@@ -23,7 +23,7 @@ def _hermetic_run_cache(tmp_path_factory):
 
 from repro.machine import DiskConfig, MachineConfig, NetworkConfig, ParagonXPS
 from repro.pablo import Tracer
-from repro.pfs import PFS, PFSCostModel
+from repro.pfs import PFS
 from repro.sim import Engine
 from repro.units import KB
 

@@ -1,0 +1,49 @@
+"""Deliberately nondeterministic module for `repro lint` fixture tests.
+
+Lives under a directory named ``sim/`` so the path-based scoping rules
+treat it as sim code.  Every construct below must keep producing a
+finding — the test suite pins the exact (line-agnostic) code set.
+"""
+
+import os
+import random
+import time
+
+
+def hash_order_iteration(items):
+    chosen = {x for x in items if x}
+    out = []
+    for item in chosen:  # DET101
+        out.append(item)
+    return out
+
+
+def ambient_entropy():
+    jitter = random.random()  # DET102
+    stamp = time.time()  # DET102
+    return jitter, stamp
+
+
+def id_tiebreak(events):
+    return sorted(events, key=id)  # DET103
+
+
+def midrun_flag():
+    return os.environ.get("REPRO_FAST_CORE", "1")  # DET104
+
+
+def hot_loop(registry, events):
+    for event in events:
+        registry.counter("sim.events").inc()  # HOT201
+    return len(events)
+
+
+def unjustified(items):
+    # repro: allow(DET101)
+    for item in set(items):  # SUP901 (no justification), DET101 unsuppressed
+        yield item
+
+
+def stale_suppression(n):
+    # repro: allow(DET103): nothing here actually orders by id
+    return n + 1  # SUP902 (suppresses nothing)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import run_prism, scaled_prism_problem
 from repro.apps.prism.app import PHASE1, PHASE2, PHASE3
-from repro.core import io_time_breakdown, operation_timeline
+from repro.core import operation_timeline
 from repro.errors import WorkloadError
 from repro.pablo import IOOp
 

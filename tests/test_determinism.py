@@ -8,7 +8,6 @@ same SDDF bytes and the same table rows, however the run executed.
 import io
 import os
 
-import pytest
 
 from repro.apps import run_escat, scaled_escat_problem
 from repro.core.breakdown import io_time_breakdown

@@ -6,12 +6,11 @@ touch it, node-ordered modes pace at the slowest participant, and
 write-behind absorbs (then backpressures on) a slow drain.
 """
 
-import pytest
 from dataclasses import replace
 
-from repro.machine import DiskConfig, MachineConfig, ParagonXPS
+from repro.machine import MachineConfig, ParagonXPS
 from repro.machine.disk import RAID3Array
-from repro.pablo import IOOp, Tracer
+from repro.pablo import Tracer
 from repro.pfs import PFS, AccessMode
 from repro.sim import Engine
 from repro.units import KB, MB

@@ -1,0 +1,296 @@
+"""Fixture tests for the determinism linter (repro.analysis).
+
+Every rule gets a positive (flagged) and negative (clean) source
+fixture, the suppression contract is pinned (justified silences,
+unjustified/unknown -> SUP901, stale -> SUP902), and the seeded
+on-disk violation fixture must keep `repro lint` exiting nonzero.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis import lint_paths, lint_source, report_payload
+from repro.errors import LintError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def codes(source, scoped=True, path="sim/mod.py"):
+    return [f.code for f in lint_source(source, path=path, scoped=scoped)]
+
+
+# ---------------------------------------------------------------------
+# DET101 — set iteration
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "for x in {1, 2, 3}:\n    print(x)\n",
+        "for x in set(items):\n    print(x)\n",
+        "s = {1, 2}\nfor x in s:\n    print(x)\n",
+        "out = [x for x in frozenset(items)]\n",
+        "out = list({x for x in items})\n",
+        "parts = ','.join({str(x) for x in items})\n",
+        "s = {1}\nout = [*s]\n",
+        "a = {1}\nb = {2}\nfor x in a | b:\n    print(x)\n",
+    ],
+)
+def test_det101_flags_set_iteration(source):
+    assert "DET101" in codes(source)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "for x in sorted({1, 2, 3}):\n    print(x)\n",
+        "for x in [1, 2, 3]:\n    print(x)\n",
+        "n = len({1, 2})\n",
+        "n = sum(set(items))\n",
+        "m = max({1, 2})\n",
+        "seen = {x for x in items}\n",  # SetComp result, not iterated
+        "s = {1}\ns = [2]\nfor x in s:\n    print(x)\n",  # rebound non-set
+    ],
+)
+def test_det101_allows_order_safe_uses(source):
+    assert "DET101" not in codes(source)
+
+
+# ---------------------------------------------------------------------
+# DET102 — entropy / wall clock
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter()\n",
+        "import random\nx = random.random()\n",
+        "import uuid\nu = uuid.uuid4()\n",
+        "import os\nb = os.urandom(8)\n",
+        "import numpy as np\nr = np.random.default_rng()\n",
+        "from numpy.random import default_rng\nr = default_rng()\n",
+        "import secrets\nt = secrets.token_hex()\n",
+    ],
+)
+def test_det102_flags_entropy(source):
+    assert "DET102" in codes(source)
+
+
+def test_det102_exempts_rng_boundary():
+    source = "import random\nx = random.random()\n"
+    assert "DET102" not in codes(source, path="src/repro/sim/rng.py")
+
+
+def test_det102_ignores_unscoped_files():
+    source = "import time\nt = time.time()\n"
+    assert codes(source, scoped=False, path="tools/bench.py") == []
+
+
+# ---------------------------------------------------------------------
+# DET103 — id() ordering
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "out = sorted(events, key=id)\n",
+        "events.sort(key=id)\n",
+        "first = min(events, key=lambda e: id(e))\n",
+        "ok = id(a) < id(b)\n",
+    ],
+)
+def test_det103_flags_id_ordering(source):
+    assert "DET103" in codes(source)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "same = id(a) == id(b)\n",
+        "same = a is b\n",
+        "out = sorted(events, key=lambda e: e.seq)\n",
+    ],
+)
+def test_det103_allows_identity_equality(source):
+    assert "DET103" not in codes(source)
+
+
+# ---------------------------------------------------------------------
+# DET104 — environ reads
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import os\nv = os.environ.get('REPRO_FAST_CORE')\n",
+        "import os\nv = os.environ['HOME']\n",
+        "import os\nv = os.getenv('X')\n",
+    ],
+)
+def test_det104_flags_environ(source):
+    assert "DET104" in codes(source)
+
+
+def test_det104_ignores_unscoped_files():
+    source = "import os\nv = os.getenv('X')\n"
+    assert codes(source, scoped=False, path="experiments/run.py") == []
+
+
+# ---------------------------------------------------------------------
+# HOT201 — telemetry lookups in loops
+# ---------------------------------------------------------------------
+
+def test_hot201_flags_lookup_in_loop():
+    source = (
+        "def run(reg, events):\n"
+        "    for e in events:\n"
+        "        reg.counter('sim.events').inc()\n"
+    )
+    assert "HOT201" in codes(source)
+
+
+def test_hot201_allows_prebound_instrument():
+    source = (
+        "def run(reg, events):\n"
+        "    inc = reg.counter('sim.events').inc\n"
+        "    for e in events:\n"
+        "        inc()\n"
+    )
+    assert "HOT201" not in codes(source)
+
+
+def test_hot201_flags_while_loops_too():
+    source = (
+        "def run(reg):\n"
+        "    while True:\n"
+        "        reg.gauge('depth').set(1)\n"
+    )
+    assert "HOT201" in codes(source)
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+
+def test_justified_suppression_silences_finding():
+    source = (
+        "import time\n"
+        "# repro: allow(DET102): telemetry wall-clock only\n"
+        "t = time.time()\n"
+    )
+    assert codes(source) == []
+
+
+def test_suppression_by_rule_name_works():
+    source = (
+        "import time\n"
+        "t = time.time()  # repro: allow(entropy): telemetry only\n"
+    )
+    assert codes(source) == []
+
+
+def test_unjustified_suppression_is_sup901():
+    source = (
+        "import time\n"
+        "# repro: allow(DET102)\n"
+        "t = time.time()\n"
+    )
+    result = codes(source)
+    assert "SUP901" in result
+    assert "DET102" in result  # the unjustified allow suppresses nothing
+
+
+def test_unknown_rule_suppression_is_sup901():
+    source = "# repro: allow(DET999): whatever\nx = 1\n"
+    assert "SUP901" in codes(source)
+
+
+def test_stale_suppression_is_sup902():
+    source = "# repro: allow(DET102): nothing here\nx = 1\n"
+    assert codes(source) == ["SUP902"]
+
+
+def test_allow_marker_in_string_is_not_a_suppression():
+    source = (
+        'doc = "# repro: allow(DET102): example"\n'
+        "import time\n"
+        "t = time.time()\n"
+    )
+    assert "DET102" in codes(source)
+
+
+# ---------------------------------------------------------------------
+# Driver / fixtures / CLI
+# ---------------------------------------------------------------------
+
+def test_syntax_error_raises_lint_error():
+    with pytest.raises(LintError):
+        lint_source("def broken(:\n", path="sim/bad.py")
+
+
+def test_seeded_fixture_produces_expected_codes():
+    reports = lint_paths([str(FIXTURES)])
+    found = sorted({f.code for r in reports for f in r.findings})
+    assert found == [
+        "DET101", "DET102", "DET103", "DET104",
+        "HOT201", "SUP901", "SUP902",
+    ]
+
+
+def test_fixture_dir_is_scoped_by_path():
+    # The fixture lives under a directory literally named sim/, so the
+    # path heuristic applies the determinism rules without overrides.
+    reports = lint_paths([str(FIXTURES / "sim" / "seeded_violations.py")])
+    assert any(f.code == "DET101" for r in reports for f in r.findings)
+
+
+def test_cli_exits_nonzero_on_fixture(capsys):
+    rc = cli.main(["lint", str(FIXTURES)])
+    assert rc == 2
+    out = capsys.readouterr().out
+    assert "DET101" in out and "finding" in out
+
+
+def test_cli_json_payload(capsys, tmp_path):
+    report_file = tmp_path / "lint.json"
+    rc = cli.main(
+        ["lint", str(FIXTURES), "--json", "--output", str(report_file)]
+    )
+    assert rc == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["finding_count"] >= 7
+    assert payload["findings_by_code"]["DET101"] >= 1
+    assert "DET101" in payload["rules"]
+    on_disk = json.loads(report_file.read_text())
+    assert on_disk["finding_count"] == payload["finding_count"]
+
+
+def test_cli_clean_on_src(capsys):
+    # The acceptance bar: the shipped tree lints clean with every
+    # suppression justified.
+    rc = cli.main(["lint", str(Path(__file__).parent.parent / "src")])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "no findings" in out
+
+
+def test_cli_rules_catalog(capsys):
+    rc = cli.main(["lint", "--rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for code in ("DET101", "DET102", "DET103", "DET104", "HOT201"):
+        assert code in out
+
+
+def test_report_payload_counts():
+    reports = lint_paths([str(FIXTURES)])
+    payload = report_payload(reports)
+    assert payload["files_checked"] == 1
+    assert payload["finding_count"] == len(payload["findings"])
+    assert sum(payload["findings_by_code"].values()) == (
+        payload["finding_count"]
+    )

@@ -1,0 +1,303 @@
+"""REPRO_SANITIZE invariant-sanitizer tests.
+
+The contract under test: with sanitization off (the default) the hot
+layers carry no checks and silently execute even deliberately
+corrupted state; with it on, the same corruption fails loudly at the
+offending call with :class:`SanitizeError` — and clean runs stay
+byte-identical either way.
+"""
+
+import io
+from types import SimpleNamespace
+
+import pytest
+
+from repro import sanitize
+from repro.apps import run_escat, scaled_escat_problem
+from repro.errors import SanitizeError
+from repro.pablo.sddf import write_sddf
+from repro.pfs import datapath
+from repro.pfs.buffering import (
+    ReadBuffer,
+    SanitizedReadBuffer,
+    make_read_buffer,
+)
+from repro.pfs.datapath import PlanChain, SanitizedPlanChain, _E_SEND, _INF
+from repro.pfs.file import Extent
+from repro.sim import Engine
+from repro.sim.events import Event, NORMAL
+
+
+@pytest.fixture
+def sanitized():
+    sanitize.set_enabled(True)
+    yield
+    sanitize.set_enabled(None)
+
+
+@pytest.fixture
+def unsanitized():
+    # Pin sanitize *off* so the "silent by default" tests hold even
+    # when the whole suite runs under REPRO_SANITIZE=1 (the CI cell).
+    sanitize.set_enabled(False)
+    yield
+    sanitize.set_enabled(None)
+
+
+def test_flag_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert sanitize.enabled() is False  # default off
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize.enabled() is True
+    sanitize.set_enabled(False)
+    try:
+        assert sanitize.enabled() is False  # override beats environ
+    finally:
+        sanitize.set_enabled(None)
+
+
+# ---------------------------------------------------------------------
+# PlanChain: deliberate ordering bug
+# ---------------------------------------------------------------------
+
+def _corrupted_chain(cls):
+    """A minimal chain whose unapplied tail is out of timestamp order
+    while ``dirty`` claims it is sorted — the exact state a broken
+    effect-emission path would leave behind."""
+    chain = cls.__new__(cls)
+    chain.dp = SimpleNamespace(
+        net=SimpleNamespace(messages=0, bytes_moved=0)
+    )
+    chain.server = SimpleNamespace(
+        ionode=SimpleNamespace(index=0, disk=None), plan=None
+    )
+    chain.env = None
+    chain.spans = []
+    chain.effects = [(2.0, _E_SEND, 1, 10), (1.0, _E_SEND, 1, 10)]
+    chain.cursor = 0
+    chain.dirty = False  # the bug: tail unsorted but not flagged
+    chain.next_due = 1.0
+    chain.const = (0.0,) * 6
+    chain.ch_free = -1.0
+    chain.ch_arrival = -1.0
+    chain.cpu_free = -1.0
+    chain.cpu_arrival = -1.0
+    chain.next_off = None
+    if cls is SanitizedPlanChain:
+        chain._san_last = -_INF
+    return chain
+
+
+def test_planchain_ordering_bug_silent_by_default(unsanitized):
+    chain = _corrupted_chain(PlanChain)
+    chain.apply_until(3.0)  # applies out of order without complaint
+    assert chain.cursor == 2
+    assert chain.dp.net.messages == 2
+
+
+def test_planchain_ordering_bug_caught_when_sanitized():
+    chain = _corrupted_chain(SanitizedPlanChain)
+    with pytest.raises(SanitizeError, match="out of order"):
+        chain.apply_until(3.0)
+
+
+def test_planchain_stale_next_due_caught():
+    chain = _corrupted_chain(SanitizedPlanChain)
+    chain.effects.sort(key=lambda e: e[0])
+    chain.next_due = 5.0  # stale-high: both effects are already due
+    with pytest.raises(SanitizeError, match="stale-high"):
+        chain.apply_until(3.0)
+
+
+def test_planchain_injected_bug_end_to_end(sanitized, monkeypatch):
+    # Corrupt every chain the datapath plans: reverse the unapplied
+    # tail and clear the dirty flag as each span lands.
+    orig_add = PlanChain.add
+
+    def corrupting_add(self, span):
+        tail = self.effects[self.cursor:]
+        if len(tail) >= 2:
+            self.effects[self.cursor:] = tail[::-1]
+            self.dirty = False
+        orig_add(self, span)
+
+    monkeypatch.setattr(PlanChain, "add", corrupting_add)
+    with pytest.raises(SanitizeError):
+        run_escat("B", scaled_escat_problem(8))
+
+
+def test_planchain_injected_bug_silent_without_sanitize(unsanitized, monkeypatch):
+    orig_add = PlanChain.add
+
+    def corrupting_add(self, span):
+        tail = self.effects[self.cursor:]
+        if len(tail) >= 2:
+            self.effects[self.cursor:] = tail[::-1]
+            self.dirty = False
+        orig_add(self, span)
+
+    monkeypatch.setattr(PlanChain, "add", corrupting_add)
+    result = run_escat("B", scaled_escat_problem(8))  # no crash
+    assert result.wall_time > 0
+
+
+# ---------------------------------------------------------------------
+# Engine: calendar ordering + pool double-free
+# ---------------------------------------------------------------------
+
+def _insert_past_event(env):
+    def proc(env):
+        yield env.timeout(10.0)
+        ev = Event(env)
+        ev._ok = True
+        env._insert(env.now - 5.0, NORMAL, ev)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+
+
+def _rewind_between_runs(env):
+    env.run(until=10.0)
+    ev = Event(env)
+    ev._ok = True
+    env._insert(5.0, NORMAL, ev)
+    dispatched_at = []
+    ev.callbacks.append(lambda _ev: dispatched_at.append(env.now))
+    return dispatched_at
+
+
+def test_engine_midrun_past_insert_caught(sanitized):
+    env = Engine()
+    _insert_past_event(env)
+    with pytest.raises(SanitizeError, match="moved backwards"):
+        env.run()
+
+
+def test_engine_midrun_past_insert_confusing_by_default(unsanitized):
+    # Without the sanitizer the same corruption surfaces as a bare
+    # KeyError on an already-retired bucket, far from the cause.
+    env = Engine()
+    _insert_past_event(env)
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_engine_rewind_between_runs_caught(sanitized):
+    env = Engine()
+    _rewind_between_runs(env)
+    with pytest.raises(SanitizeError, match="moved backwards"):
+        env.run()
+
+
+def test_engine_rewind_between_runs_silent_by_default(unsanitized):
+    env = Engine()
+    dispatched_at = _rewind_between_runs(env)
+    env.run()
+    assert dispatched_at == [5.0]  # the clock silently ran backwards
+
+
+def test_engine_pool_double_free_caught(sanitized):
+    env = Engine()
+    ev = env.timeout(1.0)
+    env._timeout_pool.append(ev)  # simulate a premature free
+    with pytest.raises(SanitizeError, match="double-free"):
+        env.run()
+
+
+def test_engine_pool_double_free_silent_by_default(unsanitized):
+    env = Engine()
+    ev = env.timeout(1.0)
+    env._timeout_pool.append(ev)
+    env.run()
+    assert env._timeout_pool.count(ev) == 2  # aliased, undetected
+
+
+def test_sanitized_engine_runs_clean_sim(sanitized):
+    env = Engine()
+
+    def proc(env):
+        for _ in range(100):
+            yield env.timeout(0.5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 50.0
+
+
+# ---------------------------------------------------------------------
+# ReadBuffer generation tripwire
+# ---------------------------------------------------------------------
+
+def _buffer(cls=None):
+    state = SimpleNamespace(path="/f", size=0, _next_token=0)
+    if cls is None:
+        buf = make_read_buffer(state, 4096)
+    else:
+        buf = cls(state, 4096)
+    buf.install(0, 100, [Extent(0, 100, 0)])
+    return state, buf
+
+
+def test_make_read_buffer_selects_by_flag(sanitized):
+    _, buf = _buffer()
+    assert type(buf) is SanitizedReadBuffer
+    sanitize.set_enabled(False)
+    _, buf = _buffer()
+    assert type(buf) is ReadBuffer
+
+
+def test_buffer_serves_covered_reads_when_sanitized():
+    _, buf = _buffer(SanitizedReadBuffer)
+    extents = buf.serve(10, 20)
+    assert extents and extents[0].start == 10 and extents[0].end == 30
+
+
+def test_buffer_stale_generation_caught():
+    state, buf = _buffer(SanitizedReadBuffer)
+    state._next_token = 1  # an intervening write bumped the generation
+    with pytest.raises(SanitizeError, match="stale"):
+        buf.serve(10, 20)
+
+
+def test_buffer_uncovered_range_caught():
+    _, buf = _buffer(SanitizedReadBuffer)
+    with pytest.raises(SanitizeError, match="outside buffered"):
+        buf.serve(90, 20)
+
+
+def test_buffer_stale_generation_silent_by_default(unsanitized):
+    state, buf = _buffer(ReadBuffer)
+    state._next_token = 1
+    assert buf.serve(10, 20)  # happily serves stale bytes
+
+
+# ---------------------------------------------------------------------
+# Byte identity + class selection
+# ---------------------------------------------------------------------
+
+def _sddf():
+    result = run_escat("B", scaled_escat_problem(4))
+    buf = io.StringIO()
+    write_sddf(result.trace, buf)
+    return buf.getvalue()
+
+
+def test_sanitized_run_is_byte_identical():
+    sanitize.set_enabled(False)
+    try:
+        base = _sddf()
+        sanitize.set_enabled(True)
+        assert _sddf() == base
+    finally:
+        sanitize.set_enabled(None)
+
+
+def test_datapath_selects_sanitized_classes(sanitized):
+    dp = datapath.DataPath.__new__(datapath.DataPath)
+    # Only exercise the class-selection tail of __init__.
+    if sanitize.enabled():
+        assert SanitizedPlanChain is not PlanChain
+    sanitize.set_enabled(True)
+    env = Engine()
+    assert env._sanitize is True

@@ -3,10 +3,7 @@ composition corners."""
 
 import pytest
 
-from repro.errors import SimulationError
 from repro.sim import (
-    AllOf,
-    AnyOf,
     Barrier,
     Engine,
     FilterStore,

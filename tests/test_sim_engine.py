@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EmptySchedule, SimulationError
-from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, Timeout
+from repro.sim import Engine, Interrupt
 
 
 def test_clock_starts_at_zero():

@@ -15,7 +15,6 @@ degrade into fallback-only runs.
 
 import io
 
-import pytest
 
 from repro.faults import FaultPlan
 from repro.faults.plan import DiskFailure, SlowDown
