@@ -32,6 +32,11 @@ SCOPED_PACKAGES = frozenset(
         "policies",
         "workloads",
         "pablo",
+        # The sweep engine schedules simulations: its worker seeds and
+        # point identities must derive from the grid spec, never from
+        # ambient entropy (real-time scheduler deadlines carry
+        # justified suppressions).
+        "sweep",
     }
 )
 

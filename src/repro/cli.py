@@ -29,9 +29,18 @@ Subcommands
 ``repro cache stats|clear``
     Inspect (entry count, footprint, hit/miss/evict/quarantine
     counters) or empty the on-disk run cache.
-``repro chaos [--seed N] [--app escat|prism|both] [--classes LIST] [--plan FILE]``
+``repro chaos [--seed N] [--app escat|prism|both] [--classes LIST] [--plan FILE] [--jobs N]``
     Re-run the version progression under fault injection and report
     which paper-level conclusions survive which fault classes.
+``repro sweep run <grid.json> [--journal PATH] [--jobs N] ...``
+    Execute a declarative sweep grid under the crash-tolerant engine,
+    journaling every point to an append-only JSONL file.
+``repro sweep resume <journal> [--jobs N] ...``
+    Continue a journaled sweep after a crash or kill; completed points
+    are never re-simulated.
+``repro sweep status <journal> [--aggregate PATH]``
+    Partial-results report for a journal (and optionally the columnar
+    aggregate), without executing anything.
 
 ``all`` and ``validate`` accept ``--jobs N`` (prewarm the run cache
 with N worker processes) and ``--no-cache`` (force fresh simulations,
@@ -327,10 +336,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for app in apps:
         report = chaos_report(
             seed=args.seed, app=app, classes=classes, plan=plan,
-            timeout=args.timeout,
+            timeout=args.timeout, jobs=args.jobs,
         )
         print(report.format())
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments import sweep
+
+    if args.sweep_command == "status":
+        grid, state = sweep.status(args.journal)
+        points = grid.expand()
+        print(sweep.partial_report(points, state.done, state.quarantined,
+                                   grid_name=grid.name), end="")
+        if args.aggregate:
+            sweep.write_aggregate(args.aggregate, points, state.done,
+                                  state.quarantined, grid_name=grid.name)
+            print(f"wrote {args.aggregate}")
+        return 0
+
+    if args.sweep_command == "run":
+        grid = sweep.SweepGrid.from_file(args.grid)
+        journal = args.journal or (
+            str(Path(args.grid).with_suffix("")) + ".journal.jsonl"
+        )
+        outcome = sweep.run_grid(
+            grid, journal, jobs=args.jobs, retries=args.retries,
+            backoff=args.backoff, timeout=args.timeout,
+        )
+    else:  # resume
+        journal = args.journal
+        outcome = sweep.resume(
+            journal, jobs=args.jobs, retries=args.retries,
+            backoff=args.backoff, timeout=args.timeout,
+        )
+    # Report from the journal, the single source of truth.
+    state = sweep.read_journal(journal)
+    grid = sweep.SweepGrid.from_dict(state.grid_spec)
+    print(sweep.partial_report(outcome.points, state.done,
+                               state.quarantined, grid_name=grid.name),
+          end="")
+    nonzero = ", ".join(
+        f"{name}={value}"
+        for name, value in sorted(outcome.telemetry.items()) if value
+    )
+    print(f"telemetry: {nonzero}")
+    print(f"journal: {journal}")
+    if args.aggregate:
+        sweep.write_aggregate(args.aggregate, outcome.points, state.done,
+                              state.quarantined, grid_name=grid.name)
+        print(f"wrote {args.aggregate}")
+    return 0 if outcome.complete else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -523,7 +582,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON fault-plan file (overrides --classes)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-run wall-clock guard in real seconds")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="dispatch the chaos cells across N sweep-engine "
+                        "workers (needs the run cache)")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "sweep", help="crash-tolerant journaled parameter sweeps"
+    )
+    sweep_sub = p.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_exec_args(q) -> None:
+        q.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="worker processes (default 2; 1 = serial "
+                            "in-process)")
+        q.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="per-point retry budget (default 2)")
+        q.add_argument("--backoff", type=float, default=0.05, metavar="S",
+                       help="retry backoff base in real seconds, doubled "
+                            "per attempt (default 0.05)")
+        q.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-point wall-clock guard in real seconds")
+        q.add_argument("--aggregate", default="", metavar="PATH",
+                       help="also write the columnar aggregate JSON")
+
+    q = sweep_sub.add_parser(
+        "run", help="execute a grid spec with a fresh journal"
+    )
+    q.add_argument("grid", help="JSON grid-spec file (see docs/sweeps.md)")
+    q.add_argument("--journal", default="", metavar="PATH",
+                   help="journal path (default: <grid>.journal.jsonl)")
+    _sweep_exec_args(q)
+    q.set_defaults(fn=_cmd_sweep)
+
+    q = sweep_sub.add_parser(
+        "resume", help="continue a journaled sweep after a crash/kill"
+    )
+    q.add_argument("journal", help="journal written by `repro sweep run`")
+    _sweep_exec_args(q)
+    q.set_defaults(fn=_cmd_sweep)
+
+    q = sweep_sub.add_parser(
+        "status", help="partial-results report for a journal"
+    )
+    q.add_argument("journal")
+    q.add_argument("--aggregate", default="", metavar="PATH",
+                   help="also write the columnar aggregate JSON")
+    q.set_defaults(fn=_cmd_sweep)
     return parser
 
 

@@ -91,6 +91,11 @@ class AnalysisError(ReproError):
     """Characterization analysis was given unusable input."""
 
 
+class SweepError(ReproError):
+    """Invalid sweep grid specification, an unusable journal, or sweep
+    scheduler misuse (see :mod:`repro.experiments.sweep`)."""
+
+
 class LintError(ReproError):
     """The static-analysis driver was misused (bad path, bad rule
     name, unparseable source handed to :func:`repro.analysis.lint_source`)."""

@@ -251,6 +251,7 @@ def load(key: str) -> Optional[AppRunResult]:
             n_nodes=meta["n_nodes"],
             trace=trace,
             wall_time=meta["wall_time"],
+            fault_summary=meta.get("fault_summary"),
         )
     except Exception:
         # Corrupt or truncated entry (whatever the failure mode — a
@@ -283,6 +284,10 @@ def store(key: str, result: AppRunResult) -> None:
         "wall_time": result.wall_time,
         "events": len(result.trace),
     }
+    if result.fault_summary is not None:
+        # Fault-injected runs (chaos cells dispatched through the sweep
+        # engine) must reload with their fault counters intact.
+        meta["fault_summary"] = result.fault_summary
     try:
         trace_path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write(trace_path, lambda f: write_sddf(result.trace, f))

@@ -17,19 +17,20 @@ is byte-identical across processes, kernels, and data paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps import (
-    run_escat,
-    run_prism,
-    scaled_escat_problem,
-    scaled_prism_problem,
-)
+from repro.apps import scaled_escat_problem, scaled_prism_problem
 from repro.errors import WorkloadError
 from repro.faults import FaultPlan
 from repro.machine import MachineConfig
 from repro.pablo.records import IOOp
-from repro.experiments.runner import DEFAULT_SEED, GuardedRun, run_guarded
+from repro.experiments import cache
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    GuardedRun,
+    plan_run,
+    run_guarded,
+)
 
 #: Read-duration CDF probe points (quartiles plus the tail the paper's
 #: figures emphasize).
@@ -185,18 +186,62 @@ def _drift(base: Tuple[float, ...], probe: Tuple[float, ...]) -> float:
     return worst
 
 
-def _producer(app: str, version: str, seed: int) -> Callable:
+def _chaos_problem(app: str):
     if app == "escat":
-        problem = scaled_escat_problem()
-        return lambda plan=None: run_escat(
-            version, problem, seed=seed, fault_plan=plan
-        )
+        return scaled_escat_problem()
     if app == "prism":
-        problem = scaled_prism_problem()
-        return lambda plan=None: run_prism(
-            version, problem, seed=seed, fault_plan=plan
-        )
+        return scaled_prism_problem()
     raise WorkloadError(f"unknown chaos app {app!r}; have escat, prism")
+
+
+def _cell_plan(app: str, version: str, seed: int, problem,
+               fault_plan: Optional[FaultPlan] = None):
+    """One chaos cell's :class:`~repro.experiments.runner.RunPlan`.
+
+    Both the serial path and the sweep-dispatched path resolve cells
+    through these plans, so they share run-cache entries (a parallel
+    chaos report warms exactly the runs the serial one would make).
+    """
+    return plan_run(app, version, seed=seed, problem=problem,
+                    fault_plan=fault_plan)
+
+
+def _sweep_cells(app, seed, problem, cells, jobs, timeout):
+    """Dispatch chaos cells through the sweep engine's worker pool.
+
+    ``cells`` is ``(tag, version, fault_plan)`` triples; each becomes
+    a programmatic sweep point carrying the problem and plan objects.
+    Failures stay quarantined in the outcome (never raised): a cell
+    that dies under injection is itself a chaos result.
+    """
+    from repro.experiments.sweep import run_points
+    from repro.experiments.sweep.grid import SweepPoint
+
+    points = [
+        SweepPoint(
+            index=i, kind=app, version=version, seed=seed,
+            problem=problem, fault_plan=fault_plan, tag=tag,
+        )
+        for i, (tag, version, fault_plan) in enumerate(cells)
+    ]
+    # Faults are deterministic, so a failing cell fails every attempt:
+    # retries would only repeat the evidence.
+    return run_points(points, jobs=jobs, retries=0, timeout=timeout)
+
+
+def _cell_outcome(outcome, tag: str, cell_plan, timeout) -> GuardedRun:
+    """One cell's :class:`GuardedRun`, from the sweep outcome when the
+    cells were dispatched (completed cells reload from the run cache)
+    or by running the cell in-process otherwise."""
+    record = outcome.record_for(tag) if outcome is not None else None
+    if record is not None and record.get("status") == "quarantined":
+        error = record.get("error") or "failed"
+        timed_out = "timed out" in error or "hard timeout" in error
+        return GuardedRun(
+            error=None if timed_out else error, timed_out=timed_out,
+        )
+    # Completed in the sweep (a disk hit now), or serial execution.
+    return run_guarded(cell_plan.fetch_or_run, wall_timeout=timeout)
 
 
 def chaos_report(
@@ -205,6 +250,7 @@ def chaos_report(
     classes: Optional[Sequence[str]] = None,
     plan: Optional[FaultPlan] = None,
     timeout: Optional[float] = None,
+    jobs: int = 1,
 ) -> ChaosReport:
     """Build the chaos matrix for one application progression.
 
@@ -212,11 +258,27 @@ def chaos_report(
     seeded plan per fault class (or under the explicit ``plan``, as a
     single "custom" row).  ``timeout`` is a per-run wall-clock guard in
     real seconds (see :func:`run_guarded`).
+
+    ``jobs`` > 1 dispatches the cells through the sweep engine's
+    worker pool (:mod:`repro.experiments.sweep`) and reloads results
+    from the run cache — the report is byte-identical to a serial
+    build.  Requires the disk cache; when it is disabled the report
+    silently degrades to serial execution.
     """
     from repro.faults.plan import FAULT_CLASSES
 
-    producers = {v: _producer(app, v, seed) for v in VERSIONS}
-    baselines = {v: producers[v]() for v in VERSIONS}
+    problem = _chaos_problem(app)
+    use_sweep = jobs > 1 and cache.cache_enabled()
+    base_plans = {
+        v: _cell_plan(app, v, seed, problem) for v in VERSIONS
+    }
+    if use_sweep:
+        _sweep_cells(
+            app, seed, problem,
+            [(f"baseline:{v}", v, None) for v in VERSIONS],
+            jobs=jobs, timeout=None,
+        )
+    baselines = {v: base_plans[v].fetch_or_run() for v in VERSIONS}
     walls = {v: baselines[v].wall_time for v in VERSIONS}
     # Slowest first, so "ranking preserved" reads A < ... improvements.
     ranking = tuple(sorted(VERSIONS, key=lambda v: -walls[v]))
@@ -244,15 +306,27 @@ def chaos_report(
             }
             scenarios.append((cls_name, per_version))
 
+    outcome = None
+    if use_sweep:
+        outcome = _sweep_cells(
+            app, seed, problem,
+            [
+                (f"{cls_name}:{v}", v, per_version[v])
+                for cls_name, per_version in scenarios
+                for v in VERSIONS
+            ],
+            jobs=jobs, timeout=timeout,
+        )
     for cls_name, per_version in scenarios:
         row = ChaosRow(
             fault_class=cls_name,
             plan_lines=per_version[VERSIONS[0]].describe(),
         )
         for v in VERSIONS:
-            guarded: GuardedRun = run_guarded(
-                lambda v=v: producers[v](per_version[v]),
-                wall_timeout=timeout,
+            guarded = _cell_outcome(
+                outcome, f"{cls_name}:{v}",
+                _cell_plan(app, v, seed, problem, per_version[v]),
+                timeout,
             )
             if guarded.completed:
                 result = guarded.result

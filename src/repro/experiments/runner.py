@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import signal
 import threading
+import traceback as traceback_module
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkloadError
 
 from repro.apps import (
     CARBON_MONOXIDE,
@@ -39,6 +40,139 @@ _CACHE: Dict[Tuple, AppRunResult] = {}
 
 #: Seed used for all headline experiments (results are deterministic).
 DEFAULT_SEED = 1996
+
+#: Application kinds :func:`plan_run` understands.  These are the same
+#: kind strings the run cache keys use, so every consumer (the memoized
+#: helpers below, ``prewarm``, the sweep engine) lands on the same
+#: cache entries for the same logical run.
+RUN_KINDS = ("escat", "prism", "escat-co", "escat-prog")
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A run's cache identity plus the closure that produces it.
+
+    Built by :func:`plan_run`, the single place that maps a
+    (kind, version, problem, seed, overrides) description to a
+    run-cache key and a producer callable.  Having one constructor
+    guarantees that the sweep engine, ``prewarm`` and the memoized
+    ``*_result`` helpers below can never compute divergent keys for
+    the same logical run.
+    """
+
+    key: str
+    producer: Callable[[], AppRunResult]
+
+    def fetch_or_run(self) -> AppRunResult:
+        """Resolve the plan through the on-disk run cache."""
+        return cache.fetch_or_run(self.key, self.producer)
+
+
+def plan_run(
+    kind: str,
+    version: str,
+    fast: bool = False,
+    seed: int = DEFAULT_SEED,
+    problem=None,
+    machine_config=None,
+    fault_plan=None,
+) -> RunPlan:
+    """Build the :class:`RunPlan` for one application run.
+
+    ``problem`` overrides the kind's default dataset (the paper-scale
+    problem, or its miniature when ``fast``).  ``machine_config`` and
+    ``fault_plan`` are optional per-run overrides; they are folded into
+    the cache key *only when present*, so default runs keep exactly the
+    keys the memoized helpers have always used (existing cache entries
+    stay valid, and sweep-warmed entries are visible to them).
+    """
+    extra: Dict[str, object] = {}
+    if machine_config is not None:
+        extra["machine_override"] = machine_config
+    if fault_plan is not None:
+        extra["faults"] = fault_plan
+
+    if kind == "escat":
+        from repro.apps.escat import ESCAT_VERSIONS
+
+        if version not in ESCAT_VERSIONS:
+            raise WorkloadError(
+                f"unknown ESCAT version {version!r}; "
+                f"have {sorted(ESCAT_VERSIONS)}"
+            )
+        if problem is None:
+            problem = scaled_escat_problem(
+                n_nodes=16, records_per_channel=32
+            ) if fast else ETHYLENE
+        return RunPlan(
+            key=cache.run_key(kind="escat", version=version,
+                              problem=problem, seed=seed, **extra),
+            producer=lambda: run_escat(
+                version, problem, seed=seed,
+                machine_config=machine_config, fault_plan=fault_plan,
+            ),
+        )
+    if kind == "prism":
+        from repro.apps.prism import PRISM_VERSIONS
+
+        if version not in PRISM_VERSIONS:
+            raise WorkloadError(
+                f"unknown PRISM version {version!r}; "
+                f"have {sorted(PRISM_VERSIONS)}"
+            )
+        if problem is None:
+            problem = scaled_prism_problem() if fast else PRISM_TEST
+        return RunPlan(
+            key=cache.run_key(kind="prism", version=version,
+                              problem=problem, seed=seed, **extra),
+            producer=lambda: run_prism(
+                version, problem, seed=seed,
+                machine_config=machine_config, fault_plan=fault_plan,
+            ),
+        )
+    if kind == "escat-co":
+        if problem is None:
+            problem = (
+                scaled_escat_problem(
+                    n_nodes=16, n_channels=3, records_per_channel=32,
+                    n_energies=2,
+                )
+                if fast else CARBON_MONOXIDE
+            )
+        version_obj = replace(VERSION_C, mode_via_gopen=True)
+        return RunPlan(
+            key=cache.run_key(kind="escat-co", version=version_obj,
+                              problem=problem, seed=seed, **extra),
+            producer=lambda: run_escat(
+                "C", problem, seed=seed, version_obj=version_obj,
+                machine_config=machine_config, fault_plan=fault_plan,
+            ),
+        )
+    if kind == "escat-prog":
+        version_obj = next(
+            (v for v in ESCAT_PROGRESSIONS if v.name == version), None
+        )
+        if version_obj is None:
+            raise WorkloadError(
+                f"unknown progression build {version!r}; have "
+                f"{[v.name for v in ESCAT_PROGRESSIONS]}"
+            )
+        if problem is None:
+            problem = scaled_escat_problem(
+                n_nodes=16, records_per_channel=32
+            ) if fast else ETHYLENE
+        return RunPlan(
+            key=cache.run_key(kind="escat-prog", version=version_obj,
+                              problem=problem, seed=seed, **extra),
+            producer=lambda: run_escat(
+                version_obj.name, problem, seed=seed,
+                version_obj=version_obj,
+                machine_config=machine_config, fault_plan=fault_plan,
+            ),
+        )
+    raise WorkloadError(
+        f"unknown run kind {kind!r}; have {RUN_KINDS}"
+    )
 
 
 def clear_cache() -> None:
@@ -61,13 +195,9 @@ def escat_result(
     """
     key = ("escat", version, fast, seed)
     if key not in _CACHE:
-        problem = scaled_escat_problem(n_nodes=16, records_per_channel=32) \
-            if fast else ETHYLENE
-        _CACHE[key] = cache.fetch_or_run(
-            cache.run_key(kind="escat", version=version, problem=problem,
-                          seed=seed),
-            lambda: run_escat(version, problem, seed=seed),
-        )
+        _CACHE[key] = plan_run(
+            "escat", version, fast=fast, seed=seed
+        ).fetch_or_run()
     return _CACHE[key]
 
 
@@ -87,25 +217,11 @@ def escat_progression_result(
     name: str, fast: bool = False, seed: int = DEFAULT_SEED
 ) -> AppRunResult:
     """One instrumented execution of the Figure-1 progression."""
-    version = next((v for v in ESCAT_PROGRESSIONS if v.name == name), None)
-    if version is None:
-        from repro.errors import WorkloadError
-
-        raise WorkloadError(
-            f"unknown progression build {name!r}; have "
-            f"{[v.name for v in ESCAT_PROGRESSIONS]}"
-        )
-    key = ("escat-prog", version.name, fast, seed)
+    key = ("escat-prog", name, fast, seed)
     if key not in _CACHE:
-        problem = scaled_escat_problem(n_nodes=16, records_per_channel=32) \
-            if fast else ETHYLENE
-        _CACHE[key] = cache.fetch_or_run(
-            cache.run_key(kind="escat-prog", version=version,
-                          problem=problem, seed=seed),
-            lambda: run_escat(
-                version.name, problem, seed=seed, version_obj=version
-            ),
-        )
+        _CACHE[key] = plan_run(
+            "escat-prog", name, fast=fast, seed=seed
+        ).fetch_or_run()
     return _CACHE[key]
 
 
@@ -120,19 +236,9 @@ def carbon_monoxide_result(
     """
     key = ("escat-co", "C", fast, seed)
     if key not in _CACHE:
-        problem = (
-            scaled_escat_problem(
-                n_nodes=16, n_channels=3, records_per_channel=32,
-                n_energies=2,
-            )
-            if fast else CARBON_MONOXIDE
-        )
-        version = replace(VERSION_C, mode_via_gopen=True)
-        _CACHE[key] = cache.fetch_or_run(
-            cache.run_key(kind="escat-co", version=version, problem=problem,
-                          seed=seed),
-            lambda: run_escat("C", problem, seed=seed, version_obj=version),
-        )
+        _CACHE[key] = plan_run(
+            "escat-co", "C", fast=fast, seed=seed
+        ).fetch_or_run()
     return _CACHE[key]
 
 
@@ -142,14 +248,17 @@ class GuardedRun:
 
     Exactly one of ``result`` / ``error`` / ``timed_out`` describes the
     outcome; the other fields keep their defaults.  This is the
-    graceful-degradation wrapper the chaos harness uses: a run that
-    fails or hangs under fault injection becomes a reportable partial
-    result instead of killing the whole experiment batch.
+    graceful-degradation wrapper the chaos harness and the sweep
+    workers use: a run that fails or hangs under fault injection
+    becomes a reportable partial result instead of killing the whole
+    experiment batch.  ``traceback`` carries the formatted traceback
+    for failed runs so a quarantined sweep point keeps its evidence.
     """
 
     result: Optional[AppRunResult] = None
     error: Optional[str] = None
     timed_out: bool = False
+    traceback: Optional[str] = None
 
     @property
     def completed(self) -> bool:
@@ -166,10 +275,19 @@ def run_guarded(
 ) -> GuardedRun:
     """Run ``producer()`` and fold failures into a :class:`GuardedRun`.
 
+    *Any* exception — a :class:`ReproError` from the simulator or an
+    unexpected one (``ZeroDivisionError`` in a workload model, say) —
+    becomes ``GuardedRun(error=..., traceback=...)`` instead of
+    killing the whole batch; only ``KeyboardInterrupt`` /
+    ``SystemExit`` (and other ``BaseException``) propagate, so Ctrl-C
+    still stops a chaos or sweep run.
+
     ``wall_timeout`` (real seconds, not simulated) aborts a runaway
     simulation via ``SIGALRM``; it is honored only on the main thread
     of platforms that have ``setitimer`` — elsewhere the run is simply
-    unguarded against hangs (errors are still caught).
+    unguarded against hangs (errors are still caught).  Sweep workers
+    run this on the main thread of their own process, so per-point
+    timeouts hold there too.
     """
     use_alarm = (
         wall_timeout is not None
@@ -186,8 +304,11 @@ def run_guarded(
         result = producer()
     except _WallClockTimeout:
         return GuardedRun(timed_out=True)
-    except ReproError as exc:
-        return GuardedRun(error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:
+        return GuardedRun(
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
+        )
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -201,10 +322,7 @@ def prism_result(
     """PRISM test-problem run for ``version`` ("A", "B", "C")."""
     key = ("prism", version, fast, seed)
     if key not in _CACHE:
-        problem = scaled_prism_problem() if fast else PRISM_TEST
-        _CACHE[key] = cache.fetch_or_run(
-            cache.run_key(kind="prism", version=version, problem=problem,
-                          seed=seed),
-            lambda: run_prism(version, problem, seed=seed),
-        )
+        _CACHE[key] = plan_run(
+            "prism", version, fast=fast, seed=seed
+        ).fetch_or_run()
     return _CACHE[key]

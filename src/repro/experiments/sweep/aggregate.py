@@ -1,0 +1,168 @@
+"""Incremental sweep aggregation: journal records -> columnar table.
+
+The aggregate derives *only* from grid expansion plus terminal journal
+records (``done`` / ``quarantined``), never from live scheduler state.
+Because expansion is deterministic and the records are keyed by
+content-derived point ids, an interrupted-then-resumed sweep renders a
+byte-identical aggregate to an uninterrupted one — the property the
+resume-after-kill test asserts.
+
+The table is columnar (a dict of equal-length lists, rows in grid
+expansion order), which serializes compactly, diffs cleanly, and loads
+straight into numpy/pandas-style tooling without reshaping.  Partial
+sweeps aggregate too: unfinished points appear with ``status:
+"pending"`` and null metrics, so a half-done sweep is inspectable at
+any moment (``repro sweep status``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Grid-derived parameter columns (from ``SweepPoint.params``).
+PARAM_COLUMNS = (
+    "index", "point", "kind", "version", "seed", "fault",
+    "n_io_nodes", "stripe_size", "repeat",
+)
+
+#: Result columns (from worker summaries; null until a point is done).
+METRIC_COLUMNS = (
+    "status", "application", "app_version", "dataset", "n_nodes",
+    "wall_time", "io_node_seconds", "events", "error",
+)
+
+
+def build_table(
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+) -> Dict[str, List]:
+    """The columnar aggregate for ``points`` given terminal records."""
+    columns: Dict[str, List] = {
+        name: [] for name in PARAM_COLUMNS + METRIC_COLUMNS
+    }
+    for point in sorted(points, key=lambda p: p.index):
+        params = point.params()
+        for name in PARAM_COLUMNS:
+            columns[name].append(params[name])
+        pid = point.point_id
+        if pid in done:
+            summary = done[pid].get("summary") or {}
+            columns["status"].append("done")
+            columns["application"].append(summary.get("application"))
+            columns["app_version"].append(summary.get("app_version"))
+            columns["dataset"].append(summary.get("dataset"))
+            columns["n_nodes"].append(summary.get("n_nodes"))
+            columns["wall_time"].append(summary.get("wall_time"))
+            columns["io_node_seconds"].append(
+                summary.get("io_node_seconds")
+            )
+            columns["events"].append(summary.get("events"))
+            columns["error"].append(None)
+        elif pid in quarantined:
+            record = quarantined[pid]
+            columns["status"].append("quarantined")
+            for name in (
+                "application", "app_version", "dataset", "n_nodes",
+                "wall_time", "io_node_seconds", "events",
+            ):
+                columns[name].append(None)
+            columns["error"].append(record.get("error"))
+        else:
+            columns["status"].append("pending")
+            for name in (
+                "application", "app_version", "dataset", "n_nodes",
+                "wall_time", "io_node_seconds", "events", "error",
+            ):
+                columns[name].append(None)
+    return columns
+
+
+def render_aggregate(
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+    grid_name: Optional[str] = None,
+) -> str:
+    """Deterministic JSON rendering of the aggregate (stable key order,
+    fixed separators — safe to compare byte-for-byte across sessions)."""
+    table = build_table(points, done, quarantined)
+    n = len(points)
+    payload = {
+        "grid": grid_name,
+        "counts": {
+            "total": n,
+            "done": len([s for s in table["status"] if s == "done"]),
+            "quarantined": len(
+                [s for s in table["status"] if s == "quarantined"]
+            ),
+            "pending": len(
+                [s for s in table["status"] if s == "pending"]
+            ),
+        },
+        "columns": table,
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_aggregate(
+    path,
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+    grid_name: Optional[str] = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_aggregate(points, done, quarantined, grid_name=grid_name)
+    )
+    return path
+
+
+def partial_report(
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+    grid_name: Optional[str] = None,
+) -> str:
+    """Human-readable progress/partial-results report (``sweep
+    status`` output)."""
+    table = build_table(points, done, quarantined)
+    n = len(points)
+    n_done = sum(1 for s in table["status"] if s == "done")
+    n_quar = sum(1 for s in table["status"] if s == "quarantined")
+    n_pending = n - n_done - n_quar
+    lines = [
+        f"sweep: {grid_name or '(unnamed)'}",
+        f"points: {n} total, {n_done} done, {n_quar} quarantined, "
+        f"{n_pending} pending",
+    ]
+    wall_times = [
+        w for w, s in zip(table["wall_time"], table["status"])
+        if s == "done" and w is not None
+    ]
+    if wall_times:
+        lines.append(
+            "wall_time: min {:.3f}s / mean {:.3f}s / max {:.3f}s "
+            "over completed points".format(
+                min(wall_times),
+                sum(wall_times) / len(wall_times),
+                max(wall_times),
+            )
+        )
+    for i in range(n):
+        if table["status"][i] == "quarantined":
+            lines.append(
+                "quarantined: point {index} ({kind}/{version} "
+                "seed={seed}): {error}".format(
+                    index=table["index"][i],
+                    kind=table["kind"][i],
+                    version=table["version"][i],
+                    seed=table["seed"][i],
+                    error=table["error"][i],
+                )
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,383 @@
+"""Declarative sweep grids and their deterministic expansion.
+
+A :class:`SweepGrid` names the axes of a parameter study — application
+(kind x versions), seeds, machine-configuration overrides, fault
+scenarios, and a repeat count — and expands into an ordered list of
+:class:`SweepPoint` objects.  Expansion is a pure function of the spec:
+the same JSON always yields the same points in the same order with the
+same content-derived ``point_id``s, which is what makes the journal's
+resume contract sound (a resumed driver re-expands the spec embedded
+in the journal header and recognizes every completed point by id).
+
+Each point maps onto the run cache through
+:func:`repro.experiments.runner.plan_run`, so two points that describe
+the same logical run — within one sweep, across sweeps, or against the
+ordinary ``escat_result``-style helpers — share one cache entry.  The
+``probe`` kind is the exception: it is the sweep engine's own
+miniature application (see :mod:`repro.experiments.sweep.probe`), used
+by the tests and CI cells that need thousands of points or points with
+scripted failure behaviours.
+
+Every worker seed derives from the grid spec's ``seeds`` axis — the
+engine never draws entropy of its own, so a sweep is as deterministic
+as the simulations it schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SweepError
+from repro.experiments import cache
+
+#: Grid-spec schema version, embedded in journals.
+GRID_SPEC_VERSION = 1
+
+#: Machine-override keys a grid may set (applied to the default
+#: configuration via ``MachineConfig.scaled``).
+MACHINE_OVERRIDE_KEYS = ("n_io_nodes", "stripe_size")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of an expanded grid.
+
+    ``index`` is the point's position in expansion order; ``repeat``
+    distinguishes duplicated cells (they share a run key and therefore
+    deduplicate through the run cache).  ``tag`` is a caller-side
+    label for programmatic sweeps (chaos uses it to map cells back);
+    it never enters the point identity or the run key.
+
+    ``problem`` and ``fault_plan`` are optional *objects* for
+    programmatic use; declarative (JSON) grids leave them ``None`` and
+    describe faults by class name instead.  Points with objects are
+    picklable and schedulable but not journal-resumable (the journal
+    embeds only JSON specs).
+    """
+
+    index: int
+    kind: str
+    version: str
+    seed: int
+    fast: bool = False
+    machine: Optional[Dict[str, int]] = None
+    fault: Optional[Dict[str, object]] = None
+    repeat: int = 0
+    tag: str = ""
+    problem: object = None
+    fault_plan: object = None
+
+    @property
+    def point_id(self) -> str:
+        """Content-derived identity: stable across processes/sessions."""
+        payload = {
+            "kind": self.kind,
+            "version": self.version,
+            "seed": self.seed,
+            "fast": self.fast,
+            "machine": self.machine,
+            "fault": self.fault,
+            "repeat": self.repeat,
+            "problem": cache._fingerprint(self.problem),
+            "fault_plan": cache._fingerprint(self.fault_plan),
+        }
+        digest = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(digest.encode("utf-8")).hexdigest()[:16]
+
+    def params(self) -> Dict[str, object]:
+        """The aggregate-table columns describing this point."""
+        machine = self.machine or {}
+        fault = self.fault or {}
+        return {
+            "index": self.index,
+            "point": self.point_id,
+            "kind": self.kind,
+            "version": self.version,
+            "seed": self.seed,
+            "fault": str(fault.get("class", "plan" if self.fault_plan
+                                    is not None else "none")),
+            "n_io_nodes": machine.get("n_io_nodes"),
+            "stripe_size": machine.get("stripe_size"),
+            "repeat": self.repeat,
+        }
+
+    def machine_config(self):
+        """The per-point machine override, or ``None`` for the default."""
+        if not self.machine:
+            return None
+        from repro.machine import MachineConfig
+
+        return MachineConfig.caltech().scaled(**self.machine)
+
+    def resolve_fault_plan(self):
+        """The per-point fault plan, or ``None`` for a healthy run.
+
+        Seeded plans derive from the point's own seed (the grid's
+        ``seeds`` axis), never from ambient entropy.
+        """
+        if self.fault_plan is not None:
+            return self.fault_plan
+        if not self.fault:
+            return None
+        from repro.faults import FaultPlan
+        from repro.machine import MachineConfig
+
+        cls_name = self.fault.get("class")
+        horizon = self.fault.get("horizon")
+        if not isinstance(cls_name, str) or not cls_name:
+            raise SweepError(
+                f"fault axis entry needs a 'class' name: {self.fault!r}"
+            )
+        if not isinstance(horizon, (int, float)) or horizon <= 0:
+            raise SweepError(
+                f"fault axis entry needs a positive 'horizon': "
+                f"{self.fault!r}"
+            )
+        n_io = (self.machine or {}).get(
+            "n_io_nodes", MachineConfig.caltech().n_io_nodes
+        )
+        return FaultPlan.seeded(
+            seed=self.seed, horizon=float(horizon), n_io_nodes=n_io,
+            classes=(cls_name,),
+        )
+
+    def plan(self):
+        """The point's :class:`~repro.experiments.runner.RunPlan`."""
+        if self.kind == "probe":
+            from repro.experiments.sweep.probe import plan_probe
+
+            return plan_probe(self.version, seed=self.seed)
+        from repro.experiments.runner import plan_run
+
+        return plan_run(
+            self.kind,
+            self.version,
+            fast=self.fast,
+            seed=self.seed,
+            problem=self.problem,
+            machine_config=self.machine_config(),
+            fault_plan=self.resolve_fault_plan(),
+        )
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative sweep specification (JSON-loadable).
+
+    ``apps`` is a sequence of ``{"kind": ..., "versions": [...]}``
+    entries; ``machines`` a sequence of override dicts (``{}`` is the
+    default configuration); ``faults`` a sequence of ``"none"`` or
+    ``{"class": ..., "horizon": ...}`` scenarios.  Expansion order is
+    the nested product ``apps x versions x seeds x machines x faults x
+    repeat`` — fixed, documented, and relied upon by the journal.
+    """
+
+    name: str
+    apps: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    seeds: Tuple[int, ...] = (1996,)
+    machines: Tuple[Optional[Tuple[Tuple[str, int], ...]], ...] = (None,)
+    faults: Tuple[Optional[Tuple[Tuple[str, object], ...]], ...] = (None,)
+    repeat: int = 1
+    fast: bool = False
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "SweepGrid":
+        """Validate and normalize a JSON-style spec dict."""
+        if not isinstance(spec, dict):
+            raise SweepError(f"grid spec must be an object, got {spec!r}")
+        unknown = set(spec) - {
+            "name", "apps", "seeds", "machines", "faults", "repeat",
+            "fast", "version",
+        }
+        if unknown:
+            raise SweepError(
+                f"unknown grid spec fields: {sorted(unknown)}"
+            )
+        version = spec.get("version", GRID_SPEC_VERSION)
+        if version != GRID_SPEC_VERSION:
+            raise SweepError(
+                f"unsupported grid spec version {version!r} "
+                f"(this build understands {GRID_SPEC_VERSION})"
+            )
+        name = spec.get("name")
+        if not isinstance(name, str) or not name:
+            raise SweepError("grid spec needs a non-empty 'name'")
+        raw_apps = spec.get("apps")
+        if not isinstance(raw_apps, list) or not raw_apps:
+            raise SweepError("grid spec needs a non-empty 'apps' list")
+        apps: List[Tuple[str, Tuple[str, ...]]] = []
+        for entry in raw_apps:
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("kind"), str)
+                or not isinstance(entry.get("versions"), list)
+                or not entry["versions"]
+            ):
+                raise SweepError(
+                    "each apps entry must be "
+                    '{"kind": ..., "versions": [...]}, got '
+                    f"{entry!r}"
+                )
+            from repro.experiments.runner import RUN_KINDS
+
+            if entry["kind"] not in RUN_KINDS + ("probe",):
+                raise SweepError(
+                    f"unknown app kind {entry['kind']!r}; have "
+                    f"{RUN_KINDS + ('probe',)}"
+                )
+            apps.append(
+                (entry["kind"], tuple(str(v) for v in entry["versions"]))
+            )
+        seeds = spec.get("seeds", [1996])
+        if (
+            not isinstance(seeds, list) or not seeds
+            or not all(isinstance(s, int) for s in seeds)
+        ):
+            raise SweepError("'seeds' must be a non-empty list of ints")
+        machines: List[Optional[Tuple[Tuple[str, int], ...]]] = []
+        for entry in spec.get("machines", [{}]):
+            if not isinstance(entry, dict):
+                raise SweepError(
+                    f"each machines entry must be an object: {entry!r}"
+                )
+            bad = set(entry) - set(MACHINE_OVERRIDE_KEYS)
+            if bad:
+                raise SweepError(
+                    f"unknown machine override keys {sorted(bad)}; "
+                    f"have {MACHINE_OVERRIDE_KEYS}"
+                )
+            if not all(
+                isinstance(v, int) and v > 0 for v in entry.values()
+            ):
+                raise SweepError(
+                    f"machine overrides must be positive ints: {entry!r}"
+                )
+            machines.append(
+                tuple(sorted(entry.items())) if entry else None
+            )
+        faults: List[Optional[Tuple[Tuple[str, object], ...]]] = []
+        for entry in spec.get("faults", ["none"]):
+            if entry == "none" or entry is None:
+                faults.append(None)
+                continue
+            if not isinstance(entry, dict):
+                raise SweepError(
+                    "each faults entry must be \"none\" or "
+                    f"an object: {entry!r}"
+                )
+            from repro.faults.plan import FAULT_CLASSES
+
+            if entry.get("class") not in FAULT_CLASSES:
+                raise SweepError(
+                    f"unknown fault class {entry.get('class')!r}; "
+                    f"have {FAULT_CLASSES}"
+                )
+            horizon = entry.get("horizon")
+            if not isinstance(horizon, (int, float)) or horizon <= 0:
+                raise SweepError(
+                    f"fault entry needs a positive 'horizon': {entry!r}"
+                )
+            faults.append(tuple(sorted(entry.items())))
+        repeat = spec.get("repeat", 1)
+        if not isinstance(repeat, int) or repeat < 1:
+            raise SweepError(f"'repeat' must be an int >= 1: {repeat!r}")
+        return cls(
+            name=name,
+            apps=tuple(apps),
+            seeds=tuple(seeds),
+            machines=tuple(machines) or (None,),
+            faults=tuple(faults) or (None,),
+            repeat=repeat,
+            fast=bool(spec.get("fast", False)),
+        )
+
+    @classmethod
+    def from_file(cls, path) -> "SweepGrid":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise SweepError(f"cannot read grid spec {path}: {exc}")
+        try:
+            spec = json.loads(text)
+        except ValueError as exc:
+            raise SweepError(f"grid spec {path} is not valid JSON: {exc}")
+        return cls.from_dict(spec)
+
+    def to_dict(self) -> Dict:
+        """The canonical JSON form (embedded in journal headers)."""
+        return {
+            "version": GRID_SPEC_VERSION,
+            "name": self.name,
+            "apps": [
+                {"kind": kind, "versions": list(versions)}
+                for kind, versions in self.apps
+            ],
+            "seeds": list(self.seeds),
+            "machines": [
+                dict(entry) if entry else {} for entry in self.machines
+            ],
+            "faults": [
+                dict(entry) if entry else "none" for entry in self.faults
+            ],
+            "repeat": self.repeat,
+            "fast": self.fast,
+        }
+
+    @property
+    def grid_hash(self) -> str:
+        digest = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(digest.encode("utf-8")).hexdigest()[:16]
+
+    # -- expansion ------------------------------------------------------
+    def expand(self) -> List[SweepPoint]:
+        """The ordered point list (apps x versions x seeds x machines x
+        faults x repeat, exactly in that nesting order)."""
+        points: List[SweepPoint] = []
+        index = 0
+        for kind, versions in self.apps:
+            for version in versions:
+                for seed in self.seeds:
+                    for machine in self.machines:
+                        for fault in self.faults:
+                            for rep in range(self.repeat):
+                                points.append(SweepPoint(
+                                    index=index,
+                                    kind=kind,
+                                    version=version,
+                                    seed=seed,
+                                    fast=self.fast,
+                                    machine=(
+                                        dict(machine) if machine else None
+                                    ),
+                                    fault=dict(fault) if fault else None,
+                                    repeat=rep,
+                                ))
+                                index += 1
+        ids = [p.point_id for p in points]
+        if len(set(ids)) != len(ids):  # pragma: no cover - by construction
+            raise SweepError("grid expansion produced colliding point ids")
+        return points
+
+
+def points_for_specs(
+    specs: Sequence[Tuple[str, str]],
+    fast: bool = False,
+    seed: int = 1996,
+) -> List[SweepPoint]:
+    """Programmatic points for (kind, version) pairs — the ``prewarm``
+    client's shape.  Invalid pairs still become points; they fail (and
+    are isolated) at execution time inside a worker."""
+    return [
+        SweepPoint(
+            index=i, kind=kind, version=version, seed=seed, fast=fast,
+            tag=f"{kind}/{version}",
+        )
+        for i, (kind, version) in enumerate(specs)
+    ]

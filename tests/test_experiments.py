@@ -73,3 +73,91 @@ def test_reference_table3_rows():
 def test_figure_reference_claims_present():
     assert set(reference.FIGURES) == {f"figure{i}" for i in range(1, 10)}
     assert reference.FIGURES["figure6"]["reduction"] == 0.23
+
+
+def test_run_guarded_folds_generic_exceptions():
+    from repro.experiments.runner import run_guarded
+
+    def blows_up():
+        return {}["missing"]  # KeyError: not a ReproError
+
+    guarded = run_guarded(blows_up)
+    assert not guarded.completed
+    assert guarded.error.startswith("KeyError")
+    assert "blows_up" in guarded.traceback  # evidence survives the fold
+    assert not guarded.timed_out
+
+
+def test_run_guarded_lets_interrupts_propagate():
+    from repro.experiments.runner import run_guarded
+
+    def interrupted():
+        raise KeyboardInterrupt()
+
+    with pytest.raises(KeyboardInterrupt):
+        run_guarded(interrupted)
+
+    def exits():
+        raise SystemExit(3)
+
+    with pytest.raises(SystemExit):
+        run_guarded(exits)
+
+
+def test_concurrent_stores_of_same_run_key(tmp_path):
+    # Two workers racing to persist the same run key (exactly what a
+    # sweep without driver-side dedup would do) must leave one valid
+    # entry: atomic temp-file renames mean no torn reads, and the
+    # sidecar-last commit order means no loadable half-entry.
+    import multiprocessing
+
+    from repro.apps import run_escat, scaled_escat_problem
+    from repro.experiments import cache
+
+    problem = scaled_escat_problem(
+        n_nodes=2, n_channels=1, records_per_channel=2, n_energies=1,
+    )
+    result = run_escat("C", problem, seed=4242)
+    key = cache.run_key(kind="race-test", seed=4242)
+
+    barrier = multiprocessing.Barrier(2)
+
+    def racer():
+        barrier.wait()
+        for _ in range(5):
+            cache.store(key, result)
+
+    procs = [multiprocessing.Process(target=racer) for _ in range(2)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+        assert proc.exitcode == 0
+
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert len(loaded.trace) == len(result.trace)
+    assert loaded.wall_time == result.wall_time
+
+
+def test_cache_roundtrips_fault_summary():
+    from repro.apps import run_escat, scaled_escat_problem
+    from repro.experiments import cache
+    from repro.faults import FaultPlan
+    from repro.machine import MachineConfig
+
+    problem = scaled_escat_problem(
+        n_nodes=2, n_channels=1, records_per_channel=2, n_energies=1,
+    )
+    plan = FaultPlan.seeded(
+        seed=7, horizon=50.0,
+        n_io_nodes=MachineConfig.caltech().n_io_nodes,
+        classes=("slowdown",),
+    )
+    result = run_escat("C", problem, seed=7, fault_plan=plan)
+    assert result.fault_summary is not None
+    key = cache.run_key(kind="fault-roundtrip", seed=7)
+    cache.store(key, result)
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.fault_summary == result.fault_summary
