@@ -37,6 +37,12 @@ SCOPED_PACKAGES = frozenset(
         # ambient entropy (real-time scheduler deadlines carry
         # justified suppressions).
         "sweep",
+        # Deliberately NOT scoped: ``serve`` (the HTTP service, job
+        # manager, client, and load generator).  Serving is an
+        # operational layer — request latencies, socket timeouts,
+        # thread scheduling — whose reads never feed simulated state;
+        # the runs it schedules execute inside the scoped packages
+        # above, where the determinism rules already apply.
     }
 )
 

@@ -38,9 +38,18 @@ Subcommands
 ``repro sweep resume <journal> [--jobs N] ...``
     Continue a journaled sweep after a crash or kill; completed points
     are never re-simulated.
-``repro sweep status <journal> [--aggregate PATH]``
+``repro sweep status <journal> [--json] [--aggregate PATH]``
     Partial-results report for a journal (and optionally the columnar
-    aggregate), without executing anything.
+    aggregate), without executing anything.  ``--json`` emits the
+    machine-readable per-point rows shared with the serve job API.
+``repro serve [--host H] [--port P] [--workers N] [--journal PATH]``
+    Run the traffic-serving simulation service: repeat queries answer
+    from the run cache, fresh runs schedule onto crash-tolerant
+    worker processes, and SIGTERM drains gracefully.
+``repro submit <kind> <version> [--seed N] [--name ID] [--url U]``
+    Submit one run to a serve instance and wait for its result.
+``repro jobs [id] [--events] [--url U]``
+    List jobs on a serve instance, or stream one job's event feed.
 
 ``all`` and ``validate`` accept ``--jobs N`` (prewarm the run cache
 with N worker processes) and ``--no-cache`` (force fresh simulations,
@@ -116,7 +125,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("\n".join(table.splitlines()[:12]))
         print(f"wrote {args.profile_output}")
         return 0
-    for output in (args.output, args.datapath_output):
+    if args.serve_only and not args.serve_output:
+        raise ReproError(
+            "--serve-only needs a --serve-output path"
+        )
+    run_core = not args.serve_only
+    for output in (args.output if run_core else "",
+                   args.datapath_output if run_core else "",
+                   args.serve_output):
         out_dir = os.path.dirname(output) or "."
         if output and not os.path.isdir(out_dir):
             # Fail before spending half a minute benchmarking.
@@ -125,27 +141,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.check:
         # Load baselines *before* the fresh reports overwrite them:
         # the default output paths are the committed baseline paths.
-        baselines["core"] = perfbench.load_report(args.baseline)
-        if args.datapath_output:
-            baselines["datapath"] = perfbench.load_report(
-                args.datapath_baseline
+        if run_core:
+            baselines["core"] = perfbench.load_report(args.baseline)
+            if args.datapath_output:
+                baselines["datapath"] = perfbench.load_report(
+                    args.datapath_baseline
+                )
+        if args.serve_output:
+            baselines["serve"] = perfbench.load_report(
+                args.serve_baseline
             )
-    payload = perfbench.run_suite(quick=args.quick)
-    perfbench.write_report(payload, args.output)
-    print(perfbench.render(payload))
-    print(f"wrote {args.output}")
-    dp_payload = None
-    if args.datapath_output:
-        dp_payload = perfbench.run_datapath_suite(quick=args.quick)
-        perfbench.write_report(dp_payload, args.datapath_output)
-        print(perfbench.render_datapath(dp_payload))
-        print(f"wrote {args.datapath_output}")
+    payload = dp_payload = None
+    if run_core:
+        payload = perfbench.run_suite(quick=args.quick)
+        perfbench.write_report(payload, args.output)
+        print(perfbench.render(payload))
+        print(f"wrote {args.output}")
+        if args.datapath_output:
+            dp_payload = perfbench.run_datapath_suite(quick=args.quick)
+            perfbench.write_report(dp_payload, args.datapath_output)
+            print(perfbench.render_datapath(dp_payload))
+            print(f"wrote {args.datapath_output}")
+    serve_payload = None
+    if args.serve_output:
+        from repro.serve import loadgen
+
+        serve_payload = loadgen.run_serve_suite(quick=args.quick)
+        perfbench.write_report(serve_payload, args.serve_output)
+        print(loadgen.render_serve(serve_payload))
+        print(f"wrote {args.serve_output}")
     if not args.check:
         return 0
     failed = False
     for current, baseline in (
         (payload, baselines.get("core")),
         (dp_payload, baselines.get("datapath")),
+        (serve_payload, baselines.get("serve")),
     ):
         if current is None or baseline is None:
             continue
@@ -350,8 +381,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.sweep_command == "status":
         grid, state = sweep.status(args.journal)
         points = grid.expand()
-        print(sweep.partial_report(points, state.done, state.quarantined,
-                                   grid_name=grid.name), end="")
+        if args.json:
+            import json as _json
+
+            payload = sweep.status_payload(
+                points, state.done, state.quarantined,
+                grid_name=grid.name,
+            )
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(sweep.partial_report(points, state.done,
+                                       state.quarantined,
+                                       grid_name=grid.name), end="")
         if args.aggregate:
             sweep.write_aggregate(args.aggregate, points, state.done,
                                   state.quarantined, grid_name=grid.name)
@@ -390,6 +431,111 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                               state.quarantined, grid_name=grid.name)
         print(f"wrote {args.aggregate}")
     return 0 if outcome.complete else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve.server import ReproServeServer
+
+    server = ReproServeServer(
+        host=args.host, port=args.port, workers=args.workers,
+        retries=args.retries, timeout=args.timeout,
+        max_queue=args.max_queue, journal=args.journal or None,
+    )
+    server.start()
+    print(f"repro serve listening on {server.url} "
+          f"({args.workers} workers)", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("repro serve draining...", flush=True)
+    drained = server.stop(drain_timeout=args.drain_timeout)
+    print("repro serve stopped"
+          + ("" if drained else " (drain timed out)"), flush=True)
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict:
+    spec: dict = {"kind": args.kind, "version": args.version,
+                  "seed": args.seed}
+    if args.fast:
+        spec["fast"] = True
+    if args.name:
+        spec["name"] = args.name
+    if args.telemetry:
+        spec["telemetry"] = True
+    machine = {}
+    if args.io_nodes is not None:
+        machine["n_io_nodes"] = args.io_nodes
+    if args.stripe_size is not None:
+        machine["stripe_size"] = args.stripe_size
+    if machine:
+        spec["machine"] = machine
+    return spec
+
+
+def _print_job(doc: dict) -> None:
+    label = f" ({doc['name']})" if doc.get("name") else ""
+    extra = ""
+    if doc.get("cache_hit"):
+        extra = "  [cache hit]"
+    elif doc.get("dedup_clients"):
+        extra = f"  [dedup x{doc['dedup_clients']}]"
+    print(f"{doc['job']}{label}  {doc['state']}{extra}")
+    point = doc.get("point") or {}
+    if doc["state"] == "done":
+        print(
+            f"  {point.get('application')} {point.get('app_version')} "
+            f"seed={point.get('seed')}  wall_time="
+            f"{point.get('wall_time'):.3f}s  events={point.get('events')}"
+        )
+    elif doc["state"] == "failed":
+        print(f"  error: {doc.get('error')}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    doc = client.submit(_spec_from_args(args))
+    if not args.no_wait and doc["state"] not in ("done", "failed"):
+        doc = client.wait(doc["job"], timeout=args.timeout)
+    _print_job(doc)
+    if args.output:
+        if doc["state"] != "done":
+            raise ReproError(
+                f"job {doc['job']} is {doc['state']}; no trace to write"
+            )
+        result = client.result(doc["job"])
+        with open(args.output, "w") as stream:
+            stream.write(result["sddf"])
+        print(f"wrote {args.output}")
+    return 0 if doc["state"] != "failed" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    if args.job:
+        if args.events:
+            import json as _json
+
+            for record in client.events(args.job):
+                print(_json.dumps(record, sort_keys=True))
+            return 0
+        _print_job(client.job(args.job))
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for doc in jobs:
+        _print_job(doc)
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -514,6 +660,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "top-N pstats table instead of the suite")
     p.add_argument("--profile-output", default="PROFILE_escat_A.txt",
                    help="pstats table path for --profile")
+    p.add_argument("--serve-output", default="", metavar="PATH",
+                   help="also run the serve traffic suite and write "
+                        "its report here (e.g. BENCH_serve.json; "
+                        "boots a local server, so it is opt-in)")
+    p.add_argument("--serve-baseline", default="BENCH_serve.json",
+                   help="serve baseline report for --check")
+    p.add_argument("--serve-only", action="store_true",
+                   help="skip the core and datapath suites; run only "
+                        "the serve suite (needs --serve-output)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
@@ -626,9 +781,72 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="partial-results report for a journal"
     )
     q.add_argument("journal")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable status (the same per-point "
+                        "rows the serve job API returns)")
     q.add_argument("--aggregate", default="", metavar="PATH",
                    help="also write the columnar aggregate JSON")
     q.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the traffic-serving simulation service "
+             "(cache-backed, journaled, crash-tolerant workers)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="simulation worker processes (default 2)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="per-job retry budget (default 1)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-job wall-clock guard in real seconds")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="fresh-job backlog bound; beyond it submissions "
+                        "get HTTP 503 (default 64)")
+    p.add_argument("--journal", default="", metavar="PATH",
+                   help="job journal path (enables restart recovery)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="graceful-shutdown drain budget (default 30)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one run to a repro serve instance"
+    )
+    p.add_argument("kind", help="application kind (escat, prism, ...)")
+    p.add_argument("version", help="application version (A/B/C, ...)")
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--fast", action="store_true",
+                   help="scaled-down problem instead of the paper's")
+    p.add_argument("--name", default="",
+                   help="client-chosen job name (idempotency key)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="sample the run; `repro jobs <id> --events` "
+                        "streams the time series")
+    p.add_argument("--io-nodes", type=int, default=None, metavar="N",
+                   help="machine override: number of I/O nodes")
+    p.add_argument("--stripe-size", type=int, default=None, metavar="B",
+                   help="machine override: stripe size in bytes")
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return immediately")
+    p.add_argument("--output", default="", metavar="PATH",
+                   help="also fetch the result and write its SDDF trace")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list or inspect jobs on a repro serve instance"
+    )
+    p.add_argument("job", nargs="?", default="",
+                   help="job id or name (omit to list all jobs)")
+    p.add_argument("--events", action="store_true",
+                   help="stream the job's JSONL event feed")
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S")
+    p.set_defaults(fn=_cmd_jobs)
     return parser
 
 

@@ -101,6 +101,40 @@ class LintError(ReproError):
     name, unparseable source handed to :func:`repro.analysis.lint_source`)."""
 
 
+class ServeError(ReproError):
+    """Base class for the serve layer (HTTP service, job manager, and
+    API client — see :mod:`repro.serve`)."""
+
+
+class ServeSpecError(ServeError):
+    """A submitted run spec failed validation (HTTP 400)."""
+
+
+class ServeJobNotFoundError(ServeError):
+    """An unknown job id (or a result that is not available) was
+    requested (HTTP 404)."""
+
+
+class ServeDuplicateJobError(ServeError):
+    """A named submission conflicts with an existing job that was
+    created from a different spec (HTTP 409)."""
+
+
+class ServeSaturatedError(ServeError):
+    """The job queue is full, or the server is draining and no longer
+    accepts fresh runs (HTTP 503)."""
+
+
+class ServeConnectionError(ServeError):
+    """The client could not reach the server at all (connection
+    refused, DNS failure, or request timeout)."""
+
+
+class ServeProtocolError(ServeError):
+    """The server answered with a status or body the client cannot
+    interpret (unexpected status code, malformed JSON)."""
+
+
 class SanitizeError(ReproError):
     """A runtime invariant check failed under ``REPRO_SANITIZE=1``.
 

@@ -261,6 +261,39 @@ def load(key: str) -> Optional[AppRunResult]:
         return None
 
 
+def peek(key: str) -> Optional[dict]:
+    """The sidecar metadata for ``key`` without parsing the trace.
+
+    This is the serve layer's hot path: answering a repeat query needs
+    only the run summary (the trace stays on disk until a result body
+    is actually requested), so a hit costs one small JSON read instead
+    of a full SDDF parse.  Counts as a cache lookup (hit/miss) and
+    refreshes LRU recency like :func:`load`; unlike :func:`load` it
+    never quarantines — a suspect entry is simply reported as a miss
+    and left for the next full load to judge.
+    """
+    if not cache_enabled():
+        return None
+    trace_path, meta_path = _paths(key)
+    try:
+        meta = json.loads(meta_path.read_text())
+        if not isinstance(meta, dict) or "events" not in meta:
+            raise ValueError("sidecar is not a run record")
+    except (OSError, ValueError):
+        _bump(misses=1)
+        return None
+    if not trace_path.exists():
+        # Sidecar without its trace: unloadable, so not a hit.
+        _bump(misses=1)
+        return None
+    try:
+        os.utime(meta_path)  # refresh LRU recency on hit
+    except OSError:
+        pass
+    _bump(hits=1)
+    return meta
+
+
 def _quarantine(trace_path: Path, meta_path: Path) -> None:
     """Unlink a broken entry's files; never raises."""
     for path in (meta_path, trace_path):
@@ -282,6 +315,7 @@ def store(key: str, result: AppRunResult) -> None:
         "dataset": result.dataset,
         "n_nodes": result.n_nodes,
         "wall_time": result.wall_time,
+        "io_node_seconds": float(result.io_node_seconds),
         "events": len(result.trace),
     }
     if result.fault_summary is not None:

@@ -744,6 +744,11 @@ _CHECK_METRICS = {
             True,
         ),
     ),
+    # The serve suite has no in-run fast/legacy ratio to compare —
+    # its absolute rates track the host machine, so the relative gate
+    # compares nothing and the (conservative) absolute criteria below
+    # carry the whole serve gate.
+    "repro serve traffic": (),
 }
 
 
@@ -873,6 +878,10 @@ _CRITERIA_METRICS = {
         "contended_end_to_end_speedup_min": (
             ("contended_end_to_end", "speedup_vs_legacy_datapath"), True,
         ),
+    },
+    "repro serve traffic": {
+        "cache_hit_qps_min": (("cache_hit", "qps"), False),
+        "fresh_throughput_min": (("fresh", "throughput_per_s"), False),
     },
 }
 

@@ -15,7 +15,9 @@ contract, and the failure-class semantics.
 from repro.experiments.sweep.aggregate import (
     build_table,
     partial_report,
+    point_rows,
     render_aggregate,
+    status_payload,
     write_aggregate,
 )
 from repro.experiments.sweep.grid import (
@@ -34,6 +36,7 @@ from repro.experiments.sweep.scheduler import (
     DEFAULT_RETRIES,
     SweepOutcome,
     SweepTelemetry,
+    WorkerPool,
     resume,
     run_grid,
     run_points,
@@ -50,8 +53,10 @@ __all__ = [
     "SweepOutcome",
     "SweepPoint",
     "SweepTelemetry",
+    "WorkerPool",
     "build_table",
     "partial_report",
+    "point_rows",
     "points_for_specs",
     "read_journal",
     "render_aggregate",
@@ -60,5 +65,6 @@ __all__ = [
     "run_grid",
     "run_points",
     "status",
+    "status_payload",
     "write_aggregate",
 ]

@@ -80,6 +80,48 @@ def build_table(
     return columns
 
 
+def point_rows(
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+) -> List[Dict]:
+    """Row-oriented view of :func:`build_table` — one dict per point.
+
+    This is the *one* per-point serializer: ``repro sweep status
+    --json`` emits these rows, and the serve layer's job-state
+    endpoint embeds the same row for a job's point, so the two
+    machine-readable surfaces can never drift apart.
+    """
+    table = build_table(points, done, quarantined)
+    names = PARAM_COLUMNS + METRIC_COLUMNS
+    return [
+        {name: table[name][i] for name in names}
+        for i in range(len(table["index"]))
+    ]
+
+
+def status_payload(
+    points: Sequence,
+    done: Dict[str, Dict],
+    quarantined: Dict[str, Dict],
+    grid_name: Optional[str] = None,
+) -> Dict:
+    """The machine-readable status document (``sweep status --json``),
+    shaped like the aggregate but row-oriented for stream consumers."""
+    rows = point_rows(points, done, quarantined)
+    statuses = [row["status"] for row in rows]
+    return {
+        "grid": grid_name,
+        "counts": {
+            "total": len(rows),
+            "done": statuses.count("done"),
+            "quarantined": statuses.count("quarantined"),
+            "pending": statuses.count("pending"),
+        },
+        "points": rows,
+    }
+
+
 def render_aggregate(
     points: Sequence,
     done: Dict[str, Dict],

@@ -166,10 +166,15 @@ class SweepOutcome:
 class _WorkerSlot:
     """One worker process slot (respawned in place after a crash)."""
 
-    def __init__(self, ctx, slot_id: int, results) -> None:
+    def __init__(self, ctx, slot_id: int, results, target=None,
+                 name: str = "sweep") -> None:
         self.slot_id = slot_id
         self.ctx = ctx
         self.results = results
+        self.target = (
+            target if target is not None else worker_module.worker_main
+        )
+        self.name = name
         self.inbox = ctx.Queue()
         self.proc = None
         self.inflight: Optional[str] = None
@@ -177,10 +182,10 @@ class _WorkerSlot:
 
     def spawn(self) -> None:
         self.proc = self.ctx.Process(
-            target=worker_module.worker_main,
+            target=self.target,
             args=(self.slot_id, self.inbox, self.results),
             daemon=True,
-            name=f"sweep-worker-{self.slot_id}",
+            name=f"{self.name}-worker-{self.slot_id}",
         )
         self.proc.start()
 
@@ -205,6 +210,107 @@ class _WorkerSlot:
             self.inbox.put(None)
         except (OSError, ValueError):  # pragma: no cover
             pass
+
+
+class WorkerPool:
+    """A crash-tolerant pool of worker-process slots behind private
+    inboxes — the dispatch substrate shared by the sweep driver and
+    the serve layer's job manager.
+
+    The pool owns process *lifecycle* only: spawning, liveness
+    detection, in-place respawn after a crash, hard-deadline kills,
+    and graceful shutdown.  All scheduling policy — what to dispatch,
+    retry budgets, quarantine — stays with the caller, which keeps the
+    pool reusable across very different drivers (a batch sweep that
+    terminates, a long-running service that never does).
+
+    ``target`` is the worker entrypoint, called as ``target(slot_id,
+    inbox, results)`` in a forked process; it defaults to the sweep
+    worker's :func:`~repro.experiments.sweep.worker.worker_main`.
+    This is also the remote-dispatch hook: a target that proxies its
+    inbox to another machine (instead of simulating locally) slots in
+    without the pool or any driver changing.
+    """
+
+    def __init__(self, size: int, target=None, ctx=None,
+                 name: str = "sweep") -> None:
+        if int(size) < 1:
+            raise SweepError(f"worker pool needs >= 1 slot: {size}")
+        self.ctx = ctx if ctx is not None else multiprocessing.get_context()
+        self.results = self.ctx.Queue()
+        self.name = name
+        self.slots = [
+            _WorkerSlot(self.ctx, slot_id, self.results, target=target,
+                        name=name)
+            for slot_id in range(int(size))
+        ]
+        #: Total processes forked over the pool's lifetime (initial
+        #: spawns + respawns) — drivers mirror this into telemetry.
+        self.spawned = 0
+
+    def start(self) -> None:
+        for slot in self.slots:
+            slot.spawn()
+            self.spawned += 1
+
+    def respawn(self, slot: "_WorkerSlot") -> None:
+        slot.respawn()
+        self.spawned += 1
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for slot in self.slots if slot.alive)
+
+    def dead_slots(self) -> List["_WorkerSlot"]:
+        """Slots whose process died without answering (crash/OOM)."""
+        return [
+            slot for slot in self.slots
+            if slot.proc is not None and not slot.alive
+        ]
+
+    def idle_slots(self) -> List["_WorkerSlot"]:
+        return [
+            slot for slot in self.slots
+            if slot.inflight is None and slot.alive
+        ]
+
+    def overdue_slots(self, now: float) -> List["_WorkerSlot"]:
+        """Slots past their hard deadline (hung beyond the SIGALRM
+        guard); the caller decides what to do with the in-flight id."""
+        return [
+            slot for slot in self.slots
+            if slot.inflight is not None
+            and slot.deadline is not None
+            and now > slot.deadline
+        ]
+
+    def kill_and_respawn(self, slot: "_WorkerSlot") -> None:
+        """SIGKILL a hung worker and fork a replacement in its slot."""
+        slot.kill()
+        if slot.proc is not None:
+            slot.proc.join(timeout=5.0)
+        self.respawn(slot)
+
+    def get_nowait(self):
+        return self.results.get_nowait()
+
+    def get(self, timeout: float):
+        return self.results.get(timeout=timeout)
+
+    def close(self, grace: float = 2.0) -> None:
+        """Shut every worker down (sentinel, then SIGKILL stragglers)
+        and release the results queue."""
+        for slot in self.slots:
+            slot.shutdown()
+        deadline = _now() + grace
+        for slot in self.slots:
+            if slot.proc is not None:
+                slot.proc.join(timeout=max(0.0, deadline - _now()))
+                if slot.proc.is_alive():
+                    slot.kill()
+                    slot.proc.join(timeout=1.0)
+        self.results.close()
+        self.results.cancel_join_thread()
 
 
 class _Scheduler:
@@ -470,7 +576,8 @@ class _Scheduler:
                 payload.get("traceback"),
             )
 
-    def _handle_dead_worker(self, slot: "_WorkerSlot") -> None:
+    def _handle_dead_worker(self, slot: "_WorkerSlot",
+                            pool: "WorkerPool") -> None:
         exitcode = slot.proc.exitcode if slot.proc is not None else None
         self.telemetry.worker_crashes += 1
         pid = slot.inflight
@@ -480,8 +587,8 @@ class _Scheduler:
                 f"worker process died mid-point (exit code {exitcode})",
                 None,
             )
-        slot.respawn()
-        self.telemetry.workers_spawned += 1
+        pool.respawn(slot)
+        self.telemetry.workers_spawned = pool.spawned
 
     @property
     def _open_count(self) -> int:
@@ -496,75 +603,48 @@ class _Scheduler:
             return self._outcome(None)
         if self.inline:
             return self._run_inline()
-        ctx = multiprocessing.get_context()
-        results = ctx.Queue()
-        slots = [
-            _WorkerSlot(ctx, slot_id, results)
-            for slot_id in range(self.jobs)
-        ]
+        pool = WorkerPool(self.jobs)
         try:
-            for slot in slots:
-                slot.spawn()
-                self.telemetry.workers_spawned += 1
+            pool.start()
+            self.telemetry.workers_spawned = pool.spawned
             while self._open_count > 0:
                 # 1. Drain everything already reported.
                 while True:
                     try:
-                        msg = results.get_nowait()
+                        msg = pool.get_nowait()
                     except queue.Empty:
                         break
-                    self._handle_message(msg, slots)
+                    self._handle_message(msg, pool.slots)
                 # 2. Crash detection: a dead worker cannot answer.
-                for slot in slots:
-                    if slot.proc is not None and not slot.alive:
-                        self._handle_dead_worker(slot)
+                for slot in pool.dead_slots():
+                    self._handle_dead_worker(slot, pool)
                 # 3. Hard deadlines (hang backstop beyond SIGALRM).
                 if self.timeout is not None:
-                    now = _now()
-                    for slot in slots:
-                        if (
-                            slot.inflight is not None
-                            and slot.deadline is not None
-                            and now > slot.deadline
-                        ):
-                            slot.kill()
-                            if slot.proc is not None:
-                                slot.proc.join(timeout=5.0)
-                            pid = slot.inflight
-                            slot.respawn()
-                            self.telemetry.workers_spawned += 1
-                            self.telemetry.worker_crashes += 1
-                            self._fail_attempt(
-                                pid,
-                                "hard timeout: worker unresponsive "
-                                f"past {self.timeout}s guard",
-                                None, timed_out=True,
-                            )
+                    for slot in pool.overdue_slots(_now()):
+                        pid = slot.inflight
+                        pool.kill_and_respawn(slot)
+                        self.telemetry.workers_spawned = pool.spawned
+                        self.telemetry.worker_crashes += 1
+                        self._fail_attempt(
+                            pid,
+                            "hard timeout: worker unresponsive "
+                            f"past {self.timeout}s guard",
+                            None, timed_out=True,
+                        )
                 # 4. Promote backoff-expired retries, then dispatch.
                 self._promote_retries()
-                for slot in slots:
-                    if slot.inflight is None and slot.alive:
-                        self._dispatch_to(slot)
+                for slot in pool.idle_slots():
+                    self._dispatch_to(slot)
                 if self._open_count == 0:
                     break
                 # 5. Wait for the next event.
                 try:
-                    msg = results.get(timeout=TICK_S)
+                    msg = pool.get(timeout=TICK_S)
                 except queue.Empty:
                     continue
-                self._handle_message(msg, slots)
+                self._handle_message(msg, pool.slots)
         finally:
-            for slot in slots:
-                slot.shutdown()
-            deadline = _now() + 2.0
-            for slot in slots:
-                if slot.proc is not None:
-                    slot.proc.join(timeout=max(0.0, deadline - _now()))
-                    if slot.proc.is_alive():
-                        slot.kill()
-                        slot.proc.join(timeout=1.0)
-            results.close()
-            results.cancel_join_thread()
+            pool.close()
         self.telemetry.workers_alive = 0
         return self._outcome(None)
 

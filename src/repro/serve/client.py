@@ -1,0 +1,148 @@
+"""Thin error-mapped client for the serve API.
+
+Transport stays stdlib (``urllib``); the value is the error mapping —
+every HTTP failure surfaces as a typed :mod:`repro.errors` exception
+(status code → exception class), and transport failures (connection
+refused, DNS, timeouts) become :class:`ServeConnectionError`, so CLI
+callers and tests branch on exception type instead of parsing status
+codes or message strings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import (
+    ServeConnectionError,
+    ServeDuplicateJobError,
+    ServeError,
+    ServeJobNotFoundError,
+    ServeProtocolError,
+    ServeSaturatedError,
+    ServeSpecError,
+)
+
+#: HTTP status → exception type (the inverse of the server's mapping).
+STATUS_ERRORS: Dict[int, type] = {
+    400: ServeSpecError,
+    404: ServeJobNotFoundError,
+    409: ServeDuplicateJobError,
+    503: ServeSaturatedError,
+}
+
+
+class ServeClient:
+    """One server, one timeout, typed errors."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8080",
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _open(self, path: str, body: Optional[dict] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._map_http_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServeConnectionError(
+                f"cannot reach repro-serve at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+        except TimeoutError as exc:
+            raise ServeConnectionError(
+                f"request to {self.base_url}{path} timed out after "
+                f"{self.timeout}s"
+            ) from exc
+
+    @staticmethod
+    def _map_http_error(exc: urllib.error.HTTPError) -> ServeError:
+        try:
+            message = json.loads(exc.read()).get("error") or str(exc)
+        except (ValueError, OSError):
+            message = str(exc)
+        err_type = STATUS_ERRORS.get(exc.code)
+        if err_type is None:
+            return ServeProtocolError(
+                f"unexpected HTTP {exc.code} from serve: {message}"
+            )
+        return err_type(message)
+
+    def _json(self, path: str, body: Optional[dict] = None) -> dict:
+        with self._open(path, body) as response:
+            raw = response.read()
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServeProtocolError(
+                f"malformed JSON from {path}: {exc}"
+            ) from exc
+
+    # -- API -------------------------------------------------------------
+    def submit(self, spec: dict) -> dict:
+        """POST a run spec; returns the job document."""
+        return self._json("/v1/runs", body=spec)
+
+    def jobs(self) -> List[dict]:
+        return self._json("/v1/runs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json(f"/v1/runs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Summary + SDDF trace text for a completed job."""
+        return self._json(f"/v1/runs/{job_id}/result")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's JSONL event feed (ends after ``end``)."""
+        with self._open(f"/v1/runs/{job_id}/events") as response:
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError as exc:
+                    raise ServeProtocolError(
+                        f"malformed event line: {line[:120]!r}: {exc}"
+                    ) from exc
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed"):
+                return doc
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {doc['state']!r} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)
+
+    def metrics(self) -> str:
+        """Raw OpenMetrics exposition text."""
+        with self._open("/v1/metrics") as response:
+            return response.read().decode()
+
+    def cache_stats(self) -> dict:
+        return self._json("/v1/cache/stats")
+
+    def status(self) -> dict:
+        return self._json("/v1/status")

@@ -1,0 +1,264 @@
+"""Closed-loop load generator and the ``BENCH_serve.json`` suite.
+
+The generator drives a live server with N client threads, each running
+a closed loop (submit, wait for terminal, measure, repeat) over a
+deterministic mix of *cache-hit* submissions (one prewarmed spec —
+the hot path) and *fresh* submissions (unique probe seeds, so every
+one simulates).  Hit placement uses a Bresenham-style schedule over
+the global request index — a global hit fraction ``f`` lands exactly
+``round(n * f)`` hits regardless of thread interleaving — instead of
+random draws, keeping the benchmark reproducible without touching an
+entropy source.
+
+:func:`run_serve_suite` is the ``repro bench`` entry: it boots a
+hermetic server (fresh temp cache dir + journal), measures a pure
+cache-hit mix, a pure fresh mix, and an 80/20 blend, and emits a
+payload gated by ``repro bench --check`` like the other suites.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Absolute criteria committed with BENCH_serve.json (deliberately
+#: conservative: CI runners are slow and shared; the point is catching
+#: order-of-magnitude regressions — a cache hit that starts simulating,
+#: a serialized worker pool — not chasing peak QPS).
+SERVE_CRITERIA = {
+    "cache_hit_qps_min": 25.0,
+    "fresh_throughput_min": 1.0,
+}
+
+#: The prewarmed hot-path spec (tiny probe problem, milliseconds).
+DEFAULT_HIT_SPEC = {"kind": "probe", "version": "ok", "seed": 424242}
+
+
+def _is_hit(index: int, fraction: float) -> bool:
+    """Bresenham accumulator: request ``index`` is a hit iff the
+    running hit quota crosses an integer at this step."""
+    return (
+        math.floor((index + 1) * fraction) > math.floor(index * fraction)
+    )
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    pos = min(
+        len(sorted_values) - 1,
+        max(0, int(math.ceil(q * len(sorted_values)) - 1)),
+    )
+    return sorted_values[pos]
+
+
+def _class_stats(latencies: List[float], wall_s: float) -> Dict:
+    ordered = sorted(latencies)
+    n = len(ordered)
+    return {
+        "requests": n,
+        "p50_ms": round(_percentile(ordered, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1000.0, 3),
+        "mean_ms": round(
+            (sum(ordered) / n * 1000.0) if n else 0.0, 3
+        ),
+    }
+
+
+def run_mix(
+    base_url: str,
+    clients: int = 4,
+    requests_per_client: int = 25,
+    hit_fraction: float = 1.0,
+    hit_spec: Optional[dict] = None,
+    fresh_seed_start: int = 1_000_000,
+    timeout: float = 120.0,
+) -> Dict:
+    """Drive ``base_url`` with a closed-loop client fleet.
+
+    Returns per-class latency stats plus cache-hit QPS and fresh-run
+    throughput over the measured wall interval.
+    """
+    from repro.serve.client import ServeClient
+
+    hit_spec = dict(hit_spec or DEFAULT_HIT_SPEC)
+    total = clients * requests_per_client
+    hit_latencies: List[List[float]] = [[] for _ in range(clients)]
+    fresh_latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors: List[str] = []
+    start_gate = threading.Barrier(clients + 1)
+
+    def client_loop(client_index: int) -> None:
+        client = ServeClient(base_url, timeout=timeout)
+        try:
+            start_gate.wait()
+        except threading.BrokenBarrierError:  # pragma: no cover
+            return
+        for i in range(requests_per_client):
+            g = client_index * requests_per_client + i
+            hit = _is_hit(g, hit_fraction)
+            spec = (
+                dict(hit_spec) if hit
+                else {"kind": "probe", "version": "ok",
+                      "seed": fresh_seed_start + g}
+            )
+            begin = time.perf_counter()
+            try:
+                doc = client.submit(spec)
+                if doc["state"] not in ("done", "failed"):
+                    doc = client.wait(doc["job"], timeout=timeout)
+                if doc["state"] != "done":
+                    errors.append(doc.get("error") or "job failed")
+                    continue
+            except Exception as exc:  # noqa: BLE001 - tallied, not fatal
+                errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            elapsed = time.perf_counter() - begin
+            (hit_latencies if hit else fresh_latencies)[
+                client_index
+            ].append(elapsed)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(c,),
+                         name=f"loadgen-{c}", daemon=True)
+        for c in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_gate.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = max(time.perf_counter() - wall_start, 1e-9)
+
+    hits = [x for per in hit_latencies for x in per]
+    fresh = [x for per in fresh_latencies for x in per]
+    return {
+        "clients": clients,
+        "requests": total,
+        "completed": len(hits) + len(fresh),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_s": round(wall_s, 3),
+        "hit_fraction": hit_fraction,
+        "cache_hit": dict(
+            _class_stats(hits, wall_s),
+            qps=round(len(hits) / wall_s, 2),
+        ),
+        "fresh": dict(
+            _class_stats(fresh, wall_s),
+            throughput_per_s=round(len(fresh) / wall_s, 2),
+        ),
+    }
+
+
+def run_serve_suite(quick: bool = False) -> Dict:
+    """Boot a hermetic server and measure the three canonical mixes.
+
+    The run cache is redirected to a throwaway directory for the
+    duration so "fresh" submissions genuinely simulate (a developer's
+    warm cache would silently turn the fresh mix into a hit mix) and
+    the user's real cache is never touched.
+    """
+    import platform
+    import sys
+
+    suite_start = time.perf_counter()
+    if quick:
+        clients, hit_n, fresh_n, mixed_n = 4, 50, 3, 10
+    else:
+        clients, hit_n, fresh_n, mixed_n = 8, 200, 6, 40
+    saved_cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+        try:
+            from repro.serve.client import ServeClient
+            from repro.serve.server import ReproServeServer
+
+            server = ReproServeServer(
+                port=0, workers=2,
+                journal=os.path.join(tmp, "serve.jsonl"),
+            )
+            server.start()
+            try:
+                client = ServeClient(server.url)
+                # Prewarm the hot-path spec so the hit mix measures
+                # the cache path, not one stray simulation.
+                doc = client.submit(DEFAULT_HIT_SPEC)
+                client.wait(doc["job"], timeout=120.0)
+                cache_hit = run_mix(
+                    server.url, clients=clients,
+                    requests_per_client=hit_n, hit_fraction=1.0,
+                )
+                fresh = run_mix(
+                    server.url, clients=clients,
+                    requests_per_client=fresh_n, hit_fraction=0.0,
+                    fresh_seed_start=2_000_000,
+                )
+                mixed = run_mix(
+                    server.url, clients=clients,
+                    requests_per_client=mixed_n, hit_fraction=0.8,
+                    fresh_seed_start=3_000_000,
+                )
+                status = client.status()
+            finally:
+                server.stop(drain_timeout=60.0)
+        finally:
+            if saved_cache_dir is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = saved_cache_dir
+    return {
+        "benchmark": "repro serve traffic",
+        "quick": quick,
+        "cache_hit": dict(cache_hit["cache_hit"],
+                          wall_s=cache_hit["wall_s"],
+                          clients=cache_hit["clients"],
+                          errors=cache_hit["errors"]),
+        "fresh": dict(fresh["fresh"],
+                      wall_s=fresh["wall_s"],
+                      clients=fresh["clients"],
+                      errors=fresh["errors"]),
+        "mixed": mixed,
+        "server": status["counters"],
+        "criteria": SERVE_CRITERIA,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "suite_wall_s": round(time.perf_counter() - suite_start, 2),
+    }
+
+
+def render_serve(payload: Dict) -> str:
+    """Human-readable summary of a serve suite payload."""
+    hit = payload["cache_hit"]
+    fresh = payload["fresh"]
+    mixed = payload["mixed"]
+    lines = [
+        "serve traffic benchmarks"
+        + (" (quick)" if payload["quick"] else ""),
+        f"  cache-hit mix     {hit['qps']:>9,.1f} qps"
+        f"  p50 {hit['p50_ms']:.2f}ms  p99 {hit['p99_ms']:.2f}ms"
+        f"  ({hit['requests']} requests, {hit['clients']} clients)",
+        f"  fresh mix         {fresh['throughput_per_s']:>9,.2f} runs/s"
+        f"  p50 {fresh['p50_ms']:.1f}ms  p99 {fresh['p99_ms']:.1f}ms"
+        f"  ({fresh['requests']} runs)",
+        f"  80/20 mixed       hits p99 {mixed['cache_hit']['p99_ms']:.2f}ms"
+        f"  fresh p99 {mixed['fresh']['p99_ms']:.1f}ms"
+        f"  ({mixed['requests']} requests)",
+        f"  server counters   executed {payload['server']['executed']}"
+        f"  cache_hits {payload['server']['cache_hits']}"
+        f"  dedup_hits {payload['server']['dedup_hits']}",
+    ]
+    if hit.get("errors") or fresh.get("errors") or mixed.get("errors"):
+        lines.append(
+            f"  errors            hit {hit.get('errors', 0)}"
+            f"  fresh {fresh.get('errors', 0)}"
+            f"  mixed {mixed.get('errors', 0)}"
+        )
+    return "\n".join(lines)

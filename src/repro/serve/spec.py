@@ -1,0 +1,136 @@
+"""Run-request validation for the serve layer.
+
+A POST ``/v1/runs`` body describes exactly one run — an application
+kind/version, a seed, and optional machine/fault overrides.  Rather
+than growing a second validator, the spec is folded into a one-cell
+grid and pushed through :meth:`SweepGrid.from_dict` — the same
+machinery (and therefore the same error messages and the same notion
+of a valid app kind, machine override, or fault scenario) that guards
+``repro sweep run``.  The expanded :class:`SweepPoint` then yields the
+run-cache key through ``point.plan()``, the single constructor shared
+with every other execution path, so a served run and a CLI run of the
+same spec can never land on different cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ReproError, ServeSpecError, SweepError
+from repro.experiments.sweep.grid import SweepGrid, SweepPoint
+
+#: Fields a run spec may carry.  ``name`` is a client-chosen job label
+#: (idempotency key); ``telemetry`` asks the worker to sample the run.
+ALLOWED_KEYS = frozenset(
+    ("kind", "version", "seed", "fast", "machine", "fault", "name",
+     "telemetry")
+)
+
+#: Default seed, matching ``repro.experiments.runner.DEFAULT_SEED``.
+DEFAULT_SEED = 1996
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """A validated run submission: the original fields plus the
+    expanded point and its content-addressed run key."""
+
+    kind: str
+    version: str
+    seed: int
+    fast: bool
+    machine: Optional[Dict]
+    fault: Optional[Dict]
+    name: str
+    telemetry: bool
+    point: SweepPoint
+    run_key: str
+
+    @classmethod
+    def from_dict(cls, spec: object) -> "RunRequest":
+        """Validate ``spec`` (HTTP 400 on any defect) into a request."""
+        if not isinstance(spec, dict):
+            raise ServeSpecError(
+                f"run spec must be a JSON object, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - ALLOWED_KEYS
+        if unknown:
+            raise ServeSpecError(
+                f"unknown run spec fields: {sorted(unknown)} "
+                f"(have {sorted(ALLOWED_KEYS)})"
+            )
+        kind = spec.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise ServeSpecError("run spec needs a 'kind' string")
+        version = spec.get("version")
+        if not isinstance(version, str) or not version:
+            raise ServeSpecError("run spec needs a 'version' string")
+        seed = spec.get("seed", DEFAULT_SEED)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ServeSpecError(f"'seed' must be an int: {seed!r}")
+        fast = spec.get("fast", False)
+        if not isinstance(fast, bool):
+            raise ServeSpecError(f"'fast' must be a bool: {fast!r}")
+        telemetry = spec.get("telemetry", False)
+        if not isinstance(telemetry, bool):
+            raise ServeSpecError(
+                f"'telemetry' must be a bool: {telemetry!r}"
+            )
+        name = spec.get("name", "")
+        if not isinstance(name, str):
+            raise ServeSpecError(f"'name' must be a string: {name!r}")
+        machine = spec.get("machine")
+        fault = spec.get("fault")
+        # One-cell grid: reuse the sweep validator wholesale.
+        grid_spec = {
+            "name": f"serve:{kind}/{version}",
+            "apps": [{"kind": kind, "versions": [version]}],
+            "seeds": [seed],
+            "machines": [machine if machine else {}],
+            "faults": [fault if fault else "none"],
+            "fast": fast,
+        }
+        try:
+            grid = SweepGrid.from_dict(grid_spec)
+        except SweepError as exc:
+            raise ServeSpecError(str(exc)) from exc
+        point = grid.expand()[0]
+        try:
+            run_key = point.plan().key
+        except ReproError as exc:
+            # Unplannable (bad probe behaviour, bad fault spec): a
+            # spec defect, not a server error.
+            raise ServeSpecError(str(exc)) from exc
+        return cls(
+            kind=kind,
+            version=version,
+            seed=seed,
+            fast=fast,
+            machine=dict(machine) if machine else None,
+            fault=dict(fault) if fault else None,
+            name=name,
+            telemetry=telemetry,
+            point=point,
+            run_key=run_key,
+        )
+
+    def canonical(self) -> Dict:
+        """The JSON form journaled with a job (and re-validated by
+        :meth:`from_dict` on recovery)."""
+        spec: Dict = {
+            "kind": self.kind,
+            "version": self.version,
+            "seed": self.seed,
+        }
+        if self.fast:
+            spec["fast"] = True
+        if self.machine:
+            spec["machine"] = dict(self.machine)
+        if self.fault:
+            spec["fault"] = dict(self.fault)
+        if self.name:
+            spec["name"] = self.name
+        if self.telemetry:
+            spec["telemetry"] = True
+        return spec

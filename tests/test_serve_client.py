@@ -1,0 +1,225 @@
+"""Tests for the serve client's typed error mapping and the load
+generator (satellite: 400/404/409/503 each raise their exception
+class, connection-refused maps to ``ServeConnectionError``, and the
+closed-loop load generator produces a gateable payload)."""
+
+import io
+import json
+import socket
+import urllib.error
+
+import pytest
+
+from repro.errors import (
+    ServeConnectionError,
+    ServeDuplicateJobError,
+    ServeJobNotFoundError,
+    ServeProtocolError,
+    ServeSaturatedError,
+    ServeSpecError,
+)
+from repro.experiments import perfbench
+from repro.serve import ReproServeServer, ServeClient
+from repro.serve.client import STATUS_ERRORS
+from repro.serve.loadgen import (
+    SERVE_CRITERIA,
+    _is_hit,
+    run_mix,
+)
+
+
+@pytest.fixture
+def serve_pair(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    server = ReproServeServer(
+        port=0, workers=2, retries=1,
+        journal=tmp_path / "serve.jsonl",
+    )
+    server.start()
+    yield server, ServeClient(server.url)
+    server.stop(drain_timeout=30.0)
+
+
+# -- typed HTTP error mapping ---------------------------------------------
+
+def test_400_bad_spec_raises_spec_error(serve_pair):
+    _, client = serve_pair
+    with pytest.raises(ServeSpecError):
+        client.submit({"kind": "nope", "version": "A"})
+    with pytest.raises(ServeSpecError):
+        client.submit({"kind": "probe", "version": "ok", "nope": 1})
+    with pytest.raises(ServeSpecError):
+        client.submit({"kind": "probe", "version": "ok",
+                       "seed": "not-an-int"})
+
+
+def test_404_unknown_job_raises_not_found(serve_pair):
+    _, client = serve_pair
+    with pytest.raises(ServeJobNotFoundError):
+        client.job("j99999-deadbeef")
+    with pytest.raises(ServeJobNotFoundError):
+        client.result("j99999-deadbeef")
+    with pytest.raises(ServeJobNotFoundError):
+        list(client.events("j99999-deadbeef"))
+    # Result of a non-done job is also a 404 (nothing to fetch yet).
+    doc = client.submit({"kind": "probe", "version": "slow",
+                         "seed": 601})
+    if doc["state"] != "done":
+        with pytest.raises(ServeJobNotFoundError):
+            client.result(doc["job"])
+    client.wait(doc["job"], timeout=60.0)
+
+
+def test_409_name_conflict_raises_duplicate(serve_pair):
+    _, client = serve_pair
+    doc = client.submit({"kind": "probe", "version": "ok",
+                         "seed": 611, "name": "taken"})
+    client.wait(doc["job"], timeout=60.0)
+    with pytest.raises(ServeDuplicateJobError):
+        client.submit({"kind": "probe", "version": "ok",
+                       "seed": 612, "name": "taken"})
+
+
+def test_503_when_saturated_or_draining(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    server = ReproServeServer(port=0, workers=1, max_queue=1,
+                              journal=tmp_path / "serve.jsonl")
+    server.start()
+    try:
+        client = ServeClient(server.url)
+        first = client.submit({"kind": "probe", "version": "slow",
+                               "seed": 621})
+        # Backlog (pending + in-flight) is now 1 >= max_queue: a
+        # second distinct fresh spec must be refused with 503.
+        with pytest.raises(ServeSaturatedError):
+            client.submit({"kind": "probe", "version": "slow",
+                           "seed": 622})
+        # Repeats of the backlogged spec still dedup (no new slot).
+        dup = client.submit({"kind": "probe", "version": "slow",
+                             "seed": 621})
+        assert dup["job"] == first["job"]
+        client.wait(first["job"], timeout=60.0)
+        # Draining refuses fresh work but still answers from cache.
+        server.manager.draining = True
+        with pytest.raises(ServeSaturatedError):
+            client.submit({"kind": "probe", "version": "slow",
+                           "seed": 623})
+        hit = client.submit({"kind": "probe", "version": "slow",
+                             "seed": 621})
+        assert hit["cache_hit"] is True
+    finally:
+        server.stop(drain_timeout=30.0)
+
+
+def test_connection_refused_raises_connection_error():
+    # Bind-then-close guarantees a dead port.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    client = ServeClient(f"http://127.0.0.1:{port}", timeout=2.0)
+    with pytest.raises(ServeConnectionError):
+        client.submit({"kind": "probe", "version": "ok", "seed": 1})
+    with pytest.raises(ServeConnectionError):
+        client.jobs()
+
+
+def test_unexpected_status_maps_to_protocol_error():
+    err = urllib.error.HTTPError(
+        "http://x/v1/runs", 500, "boom", {},
+        io.BytesIO(json.dumps({"error": "internal"}).encode()),
+    )
+    mapped = ServeClient._map_http_error(err)
+    assert isinstance(mapped, ServeProtocolError)
+    assert "internal" in str(mapped)
+    # Non-JSON bodies degrade to the HTTPError's own message.
+    err = urllib.error.HTTPError(
+        "http://x/v1/runs", 418, "teapot", {}, io.BytesIO(b"<html>")
+    )
+    assert isinstance(
+        ServeClient._map_http_error(err), ServeProtocolError
+    )
+
+
+def test_status_error_table_is_total():
+    assert STATUS_ERRORS == {
+        400: ServeSpecError,
+        404: ServeJobNotFoundError,
+        409: ServeDuplicateJobError,
+        503: ServeSaturatedError,
+    }
+
+
+# -- load generator -------------------------------------------------------
+
+def test_hit_schedule_is_exact_and_deterministic():
+    for fraction in (0.0, 0.25, 0.5, 0.8, 1.0):
+        hits = sum(_is_hit(g, fraction) for g in range(200))
+        assert hits == round(200 * fraction)
+    # Stable across calls (no entropy source involved).
+    assert [_is_hit(g, 0.8) for g in range(40)] \
+        == [_is_hit(g, 0.8) for g in range(40)]
+
+
+def test_run_mix_shapes_and_counts(serve_pair):
+    server, client = serve_pair
+    hit_spec = {"kind": "probe", "version": "ok", "seed": 700}
+    doc = client.submit(hit_spec)
+    client.wait(doc["job"], timeout=60.0)
+    out = run_mix(
+        server.url, clients=2, requests_per_client=6,
+        hit_fraction=0.5, hit_spec=hit_spec,
+        fresh_seed_start=710,
+    )
+    assert out["requests"] == 12
+    assert out["errors"] == 0
+    assert out["completed"] == 12
+    assert out["cache_hit"]["requests"] == 6
+    assert out["fresh"]["requests"] == 6
+    assert out["cache_hit"]["qps"] > 0
+    assert out["fresh"]["throughput_per_s"] > 0
+    assert out["cache_hit"]["p99_ms"] >= out["cache_hit"]["p50_ms"]
+    # Six distinct fresh seeds -> six simulations, none deduped.
+    assert server.manager.counters["executed"] == 7  # prewarm + 6
+
+
+def test_serve_suite_payload_gates_through_perfbench():
+    # The committed BENCH_serve.json shape, judged by the same
+    # machinery as the other suites (absolute criteria only).
+    payload = {
+        "benchmark": "repro serve traffic",
+        "quick": False,
+        "cache_hit": {"qps": 80.0, "p50_ms": 5.0, "p99_ms": 20.0},
+        "fresh": {"throughput_per_s": 4.0, "p50_ms": 300.0},
+        "criteria": dict(SERVE_CRITERIA),
+    }
+    report = perfbench.check_criteria(payload)
+    assert report["checked"] == 2
+    assert not report["unmet"]
+    red = dict(payload, cache_hit={"qps": 1.0})
+    assert perfbench.check_criteria(red)["unmet"]
+    # The relative gate compares nothing for this suite (absolute
+    # rates track the host), so identical payloads never regress.
+    rel = perfbench.check_regressions(payload, payload)
+    assert rel["compared"] == 0
+    assert not rel["regressed"]
+
+
+def test_concurrent_clients_thread_safety(serve_pair):
+    # A small burst of mixed traffic from several threads: no errors,
+    # every job terminal, counters consistent.
+    server, client = serve_pair
+    prewarm = client.submit({"kind": "probe", "version": "ok",
+                             "seed": 800})
+    client.wait(prewarm["job"], timeout=60.0)
+    out = run_mix(
+        server.url, clients=4, requests_per_client=5,
+        hit_fraction=0.8,
+        hit_spec={"kind": "probe", "version": "ok", "seed": 800},
+        fresh_seed_start=810,
+    )
+    assert out["errors"] == 0
+    assert out["completed"] == 20
+    counters = server.manager.counters
+    assert counters["failed"] == 0
+    assert counters["done"] >= 20
